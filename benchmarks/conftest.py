@@ -1,0 +1,45 @@
+"""Shared reporting for the benchmark suite.
+
+Every benchmark records paper-style rows into the session ``report``;
+they are printed in the terminal summary so the paper-vs-measured
+comparison is visible even under output capture, and dumped to
+``benchmarks/results.json`` for EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+_RESULTS: dict[str, list[str]] = {}
+_RAW: dict[str, dict] = {}
+
+
+class Report:
+    """Accumulates human-readable rows and raw values per experiment."""
+
+    def row(self, experiment: str, text: str) -> None:
+        _RESULTS.setdefault(experiment, []).append(text)
+
+    def value(self, experiment: str, key: str, value) -> None:
+        _RAW.setdefault(experiment, {})[key] = value
+
+
+@pytest.fixture(scope="session")
+def report() -> Report:
+    return Report()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.section("FlexOS reproduction: paper-style results")
+    for experiment in sorted(_RESULTS):
+        terminalreporter.write_line(f"== {experiment} ==")
+        for line in _RESULTS[experiment]:
+            terminalreporter.write_line("  " + line)
+    out = pathlib.Path(__file__).parent / "results.json"
+    out.write_text(json.dumps(_RAW, indent=2, sort_keys=True))
+    terminalreporter.write_line(f"raw values written to {out}")

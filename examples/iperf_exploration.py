@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Explore the iperf security/performance space (paper Figure 3).
+
+Builds the same application against five isolation strategies — from
+"no protection, maximum speed" to "every compartment in its own VM" —
+and sweeps the recv buffer size, printing a Figure-3-style table.  Each
+configuration is just "setting a few options and recompiling", FlexOS's
+core promise.
+
+Run:  python examples/iperf_exploration.py
+"""
+
+from repro import BuildConfig, build_image
+from repro.apps import run_iperf
+
+LIBRARIES = ["libc", "netstack", "iperf"]
+FLAT = [["netstack", "sched", "alloc", "libc", "iperf"]]
+ISOLATED = [["netstack"], ["sched", "alloc", "libc", "iperf"]]
+SH_SUITE = ("asan", "ubsan", "stackprotector", "cfi")
+BUFFER_SIZES = [2**p for p in range(6, 19, 2)]
+
+CONFIGS = {
+    "baseline (no isolation)": BuildConfig(
+        libraries=LIBRARIES, compartments=FLAT, backend="none"
+    ),
+    "SH on netstack": BuildConfig(
+        libraries=LIBRARIES,
+        compartments=ISOLATED,
+        backend="none",
+        hardening={"netstack": SH_SUITE},
+    ),
+    "MPK shared stacks": BuildConfig(
+        libraries=LIBRARIES, compartments=ISOLATED, backend="mpk-shared"
+    ),
+    "MPK switched stacks": BuildConfig(
+        libraries=LIBRARIES, compartments=ISOLATED, backend="mpk-switched"
+    ),
+    "VM RPC (one VM per compartment)": BuildConfig(
+        libraries=LIBRARIES, compartments=ISOLATED, backend="vm-rpc"
+    ),
+}
+
+
+def main() -> None:
+    header = "configuration".ljust(32) + "".join(
+        f"{size:>9}" for size in BUFFER_SIZES
+    )
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for label, config in CONFIGS.items():
+        image = build_image(config)
+        series = []
+        for size in BUFFER_SIZES:
+            total = max(1 << 19, 4 * size)
+            series.append(run_iperf(image, size, total).throughput_mbps)
+        print(
+            label.ljust(32)
+            + "".join(f"{value:9.0f}" for value in series)
+        )
+        if baseline is None:
+            baseline = series
+        else:
+            ratios = "".join(
+                f"{b / v:9.2f}" if v else "        -"
+                for b, v in zip(baseline, series)
+            )
+            print("  slowdown vs baseline".ljust(32) + ratios)
+    print(
+        "\nShapes to notice (paper Fig. 3): MPK/SH cost 2-3x at small\n"
+        "buffers and catch the baseline around 1 KiB; the VM backend\n"
+        "needs ~32 KiB; everything converges at line rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

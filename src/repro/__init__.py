@@ -1,0 +1,25 @@
+"""repro — a reproduction of FlexOS: Making OS Isolation Flexible (HotOS'21).
+
+Quick start::
+
+    from repro import BuildConfig, build_image
+    from repro.apps import run_iperf
+
+    config = BuildConfig(
+        libraries=["libc", "netstack", "iperf"],
+        compartments=[["netstack"], ["sched", "alloc", "libc", "iperf"]],
+        backend="mpk-shared",
+    )
+    image = build_image(config)
+    result = run_iperf(image, buffer_size=1024, total_bytes=1 << 20)
+    print(result.throughput_mbps, "Mb/s")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import BuildConfig, Image, build_image
+
+__version__ = "0.1.0"
+
+__all__ = ["BuildConfig", "Image", "build_image", "__version__"]

@@ -1,0 +1,43 @@
+"""Applications: the paper's two evaluation workloads (iperf, Redis).
+
+Importing this package registers the application micro-libraries with
+the FlexOS builder registry, so ``BuildConfig(libraries=[...,"iperf"])``
+just works.
+"""
+
+from repro.apps.httpd import HttpdApp
+from repro.apps.iperf import IperfServerApp
+from repro.apps.rediserver import RedisServerApp
+from repro.apps.workload import (
+    ClosedLoopSource,
+    IperfSource,
+    make_get_payloads,
+    make_set_payloads,
+    populate_files,
+    run_closed_loop,
+    run_iperf,
+    run_redis_phase,
+    start_httpd,
+    start_redis,
+)
+from repro.core.builder import register_library
+
+register_library("httpd", HttpdApp)
+register_library("iperf", IperfServerApp)
+register_library("redis", RedisServerApp)
+
+__all__ = [
+    "ClosedLoopSource",
+    "HttpdApp",
+    "IperfServerApp",
+    "IperfSource",
+    "RedisServerApp",
+    "make_get_payloads",
+    "make_set_payloads",
+    "populate_files",
+    "run_closed_loop",
+    "run_iperf",
+    "run_redis_phase",
+    "start_httpd",
+    "start_redis",
+]

@@ -1,0 +1,105 @@
+"""The iperf server application (paper §4, "Safe iperf").
+
+A bulk-receive loop: accept a stream, ``recv`` into a fixed-size buffer
+(the paper's x-axis in Figure 3 is this buffer size), discard the
+payload, count bytes.  The receive buffer is annotated shared data —
+it must be writable from the LibC compartment that performs the copy —
+so it is allocated from the shared heap, exactly the porting step the
+paper describes ("programmers also annotate data shared with other
+micro-libs").
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.libos.library import MicroLibrary, export
+
+
+class IperfServerApp(MicroLibrary):
+    """iperf-like bulk TCP sink."""
+
+    NAME = "iperf"
+    SPEC = """
+    [Memory access] Read(Own,Shared); Write(Own,Shared)
+    [Call] netstack::listen, netstack::recv, alloc::malloc_shared, \
+alloc::free_shared
+    [API] iperf_stats()
+    """
+    TRUE_BEHAVIOR = {
+        "writes": ["Own", "Shared"],
+        "reads": ["Own", "Shared"],
+        "calls": [
+            "netstack::listen",
+            "netstack::recv",
+            "alloc::malloc_shared",
+            "alloc::free_shared",
+        ],
+    }
+
+    #: Default iperf control port; each server instance bumps from here.
+    BASE_PORT = 5001
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._net = None
+        self._alloc = None
+        self._next_port = self.BASE_PORT
+        self.received = 0
+        self.recv_calls = 0
+        self.done = False
+
+    def on_install(self) -> None:
+        # Application-private statistics block (bytes/intervals), the
+        # app's own instrumentable memory traffic per recv.
+        self._stats_block = self.alloc_static(64)
+
+    def on_boot(self) -> None:
+        self._net = self.stub("netstack")
+        self._alloc = self.stub("alloc")
+
+    def _account(self, count: int) -> None:
+        """Update the in-memory transfer counters (as real iperf does)."""
+        raw = self.machine.load(self._stats_block, 8)
+        total = int.from_bytes(raw, "little") + count
+        self.machine.store(self._stats_block, total.to_bytes(8, "little"))
+
+    def next_port(self) -> int:
+        """Fresh port for a new server instance (one per measurement)."""
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    def make_server(self, port: int, buffer_size: int, target_bytes: int):
+        """Body factory: receive ``target_bytes`` then finish."""
+        if buffer_size <= 0 or target_bytes <= 0:
+            raise ValueError("buffer and target sizes must be positive")
+
+        def body() -> Generator:
+            sockfd = self._net.call("listen", port)
+            buffer = self._alloc.call("malloc_shared", buffer_size)
+            self.received = 0
+            self.recv_calls = 0
+            self.done = False
+            while self.received < target_bytes:
+                count = yield from self._net.call_gen(
+                    "recv", sockfd, buffer, buffer_size
+                )
+                if count == 0:
+                    break
+                self._account(count)
+                self.received += count
+                self.recv_calls += 1
+            self._alloc.call("free_shared", buffer)
+            self.done = True
+
+        return body
+
+    @export
+    def iperf_stats(self) -> dict[str, int]:
+        """Bytes and recv-call counters."""
+        return {
+            "received": self.received,
+            "recv_calls": self.recv_calls,
+            "done": int(self.done),
+        }

@@ -1,0 +1,378 @@
+"""A Redis-like key/value server (paper §4, Redis experiments).
+
+Implements a minimal text protocol over the simulated TCP-lite stream:
+
+- ``SET <key> <len>\\n<len value bytes>`` → ``+OK\\n``
+- ``GET <key>\\n`` → ``$<len>\\n<value>`` or ``$-1\\n`` on miss
+
+Request parsing is a proper byte-stream parser: partial commands at the
+end of a receive are shifted to the front of the request buffer and
+completed by the next ``recv``, so pipelined clients (the closed-loop
+workload, like redis-benchmark) work at any window size.
+
+Structure relevant to the paper's numbers:
+
+- values live in the *private* heap (``alloc.malloc``), copied in/out of
+  the shared I/O buffers by the application's own code — an app cannot
+  ask LibC to write app-private memory across an MPK boundary (the
+  confused-deputy issue §5 discusses);
+- each request allocates and frees a small reply object, so allocator
+  instrumentation (ASAN's malloc tax) is paid per request — the
+  mechanism behind the global-vs-local allocator gap in Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.libos.library import MicroLibrary, export
+from repro.machine.faults import GateError
+
+
+class RedisServerApp(MicroLibrary):
+    """Minimal pipelining-capable key/value server."""
+
+    NAME = "redis"
+    SPEC = """
+    [Memory access] Read(Own,Shared); Write(Own,Shared)
+    [Call] netstack::listen, netstack::recv, netstack::send, \
+alloc::malloc, alloc::free, alloc::malloc_shared, alloc::free_shared, \
+vfs::open, vfs::read, vfs::write, vfs::close
+    [API] redis_stats(); dbsize(); save(path); load(path)
+    """
+    TRUE_BEHAVIOR = {
+        "writes": ["Own", "Shared"],
+        "reads": ["Own", "Shared"],
+        "calls": [
+            "netstack::listen",
+            "netstack::recv",
+            "netstack::send",
+            "alloc::malloc",
+            "alloc::free",
+            "alloc::malloc_shared",
+            "alloc::free_shared",
+            "vfs::open",
+            "vfs::read",
+            "vfs::write",
+            "vfs::close",
+        ],
+    }
+
+    PORT = 6379
+    #: Request/response staging buffer sizes.
+    BUF_SIZE = 4096
+    #: Size of the per-request reply object (redis robj analogue).
+    REPLY_OBJ_SIZE = 64
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._net = None
+        self._alloc = None
+        #: key (bytes) → (value address in private heap, length)
+        self._store: dict[bytes, tuple[int, int]] = {}
+        self.sets = 0
+        self.gets = 0
+        self.misses = 0
+        self.errors = 0
+        self.responses = 0
+        self.running = False
+
+    def on_boot(self) -> None:
+        self._net = self.stub("netstack")
+        self._alloc = self.stub("alloc")
+
+    # --- server loop ----------------------------------------------------------
+
+    def make_server(self, port: int | None = None):
+        """Body factory for the server thread (runs until stack stop)."""
+        bind_port = port if port is not None else self.PORT
+
+        def body() -> Generator:
+            sockfd = self._net.call("listen", bind_port)
+            req_buf = self._alloc.call("malloc_shared", self.BUF_SIZE)
+            resp_buf = self._alloc.call("malloc_shared", self.BUF_SIZE)
+            self.running = True
+            pending = 0
+            while True:
+                count = yield from self._net.call_gen(
+                    "recv", sockfd, req_buf + pending, self.BUF_SIZE - pending
+                )
+                if count == 0:
+                    break
+                total = pending + count
+                raw = self.machine.load(req_buf, total)
+                consumed = self._process(raw, req_buf, resp_buf, sockfd)
+                if consumed < total:
+                    # Shift the partial trailing command to the front.
+                    self.machine.copy(req_buf, req_buf + consumed, total - consumed)
+                pending = total - consumed
+            self._alloc.call("free_shared", req_buf)
+            self._alloc.call("free_shared", resp_buf)
+            self.running = False
+
+        return body
+
+    def _process(
+        self, raw: bytes, req_buf: int, resp_buf: int, sockfd: int
+    ) -> int:
+        """Execute every complete command in ``raw``; returns bytes consumed."""
+        consumed = 0
+        while True:
+            newline = raw.find(b"\n", consumed)
+            if newline < 0:
+                break
+            line = raw[consumed:newline]
+            if line.startswith(b"SET "):
+                parsed = self._parse_set(line)
+                if parsed is None:
+                    reply_len = self._reply_error(resp_buf)
+                    consumed = newline + 1
+                else:
+                    key, length = parsed
+                    value_start = newline + 1
+                    if value_start + length > len(raw):
+                        break  # value not fully received yet
+                    self._do_set(key, req_buf + value_start, length)
+                    reply_len = self._reply_ok(resp_buf)
+                    consumed = value_start + length
+            elif line.startswith(b"GET "):
+                reply_len = self._do_get(line[4:].strip(), resp_buf)
+                consumed = newline + 1
+            elif line.startswith(b"DEL "):
+                reply_len = self._do_del(line[4:].strip(), resp_buf)
+                consumed = newline + 1
+            elif line.startswith(b"EXISTS "):
+                reply_len = self._do_exists(line[7:].strip(), resp_buf)
+                consumed = newline + 1
+            elif line.startswith(b"INCR "):
+                reply_len = self._do_incr(line[5:].strip(), resp_buf)
+                consumed = newline + 1
+            elif line.startswith(b"APPEND "):
+                parsed = self._parse_set(b"SET " + line[7:])
+                if parsed is None:
+                    reply_len = self._reply_error(resp_buf)
+                    consumed = newline + 1
+                else:
+                    key, length = parsed
+                    value_start = newline + 1
+                    if value_start + length > len(raw):
+                        break  # suffix not fully received yet
+                    reply_len = self._do_append(
+                        key, req_buf + value_start, length, resp_buf
+                    )
+                    consumed = value_start + length
+            else:
+                reply_len = self._reply_error(resp_buf)
+                consumed = newline + 1
+            # Per-request reply object, as redis allocates per command.
+            reply_obj = self._alloc.call("malloc", self.REPLY_OBJ_SIZE)
+            self._alloc.call("free", reply_obj)
+            self._net.call("send", sockfd, resp_buf, reply_len)
+            self.responses += 1
+        return consumed
+
+    # --- commands ---------------------------------------------------------------
+
+    @staticmethod
+    def _parse_set(line: bytes) -> tuple[bytes, int] | None:
+        parts = line.split()
+        if len(parts) != 3:
+            return None
+        try:
+            length = int(parts[2])
+        except ValueError:
+            return None
+        if length < 0:
+            return None
+        return parts[1], length
+
+    def _do_set(self, key: bytes, value_addr: int, length: int) -> None:
+        old = self._store.pop(key, None)
+        if old is not None:
+            self._alloc.call("free", old[0])
+        stored = self._alloc.call("malloc", max(1, length))
+        if length:
+            # The app copies from the shared request buffer into its
+            # private heap itself (LibC may not write app memory).
+            self.machine.copy(stored, value_addr, length)
+        self._store[key] = (stored, length)
+        self.sets += 1
+
+    def _do_get(self, key: bytes, resp_buf: int) -> int:
+        self.gets += 1
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+            self.machine.store(resp_buf, b"$-1\n")
+            return 4
+        addr, length = entry
+        head = b"$%d\n" % length
+        self.machine.store(resp_buf, head)
+        if length:
+            self.machine.copy(resp_buf + len(head), addr, length)
+        return len(head) + length
+
+    def _do_del(self, key: bytes, resp_buf: int) -> int:
+        entry = self._store.pop(key, None)
+        if entry is not None:
+            self._alloc.call("free", entry[0])
+        reply = b":%d\n" % (1 if entry is not None else 0)
+        self.machine.store(resp_buf, reply)
+        return len(reply)
+
+    def _do_exists(self, key: bytes, resp_buf: int) -> int:
+        reply = b":%d\n" % (1 if key in self._store else 0)
+        self.machine.store(resp_buf, reply)
+        return len(reply)
+
+    def _do_incr(self, key: bytes, resp_buf: int) -> int:
+        entry = self._store.get(key)
+        if entry is None:
+            current = 0
+        else:
+            addr, length = entry
+            raw = self.machine.load(addr, length) if length else b"0"
+            try:
+                current = int(raw)
+            except ValueError:
+                return self._reply_error(resp_buf)
+        current += 1
+        encoded = b"%d" % current
+        stored = self._alloc.call("malloc", len(encoded))
+        self.machine.store(stored, encoded)
+        if entry is not None:
+            self._alloc.call("free", entry[0])
+        self._store[key] = (stored, len(encoded))
+        reply = b":%d\n" % current
+        self.machine.store(resp_buf, reply)
+        return len(reply)
+
+    def _do_append(
+        self, key: bytes, suffix_addr: int, suffix_len: int, resp_buf: int
+    ) -> int:
+        entry = self._store.get(key)
+        old_len = entry[1] if entry is not None else 0
+        total = old_len + suffix_len
+        stored = self._alloc.call("malloc", max(1, total))
+        if entry is not None:
+            if old_len:
+                self.machine.copy(stored, entry[0], old_len)
+            self._alloc.call("free", entry[0])
+        if suffix_len:
+            self.machine.copy(stored + old_len, suffix_addr, suffix_len)
+        self._store[key] = (stored, total)
+        reply = b":%d\n" % total
+        self.machine.store(resp_buf, reply)
+        return len(reply)
+
+    def _reply_ok(self, resp_buf: int) -> int:
+        self.machine.store(resp_buf, b"+OK\n")
+        return 4
+
+    def _reply_error(self, resp_buf: int) -> int:
+        self.errors += 1
+        self.machine.store(resp_buf, b"-ERR\n")
+        return 5
+
+    # --- persistence (RDB-style dump over the vfs micro-library) ----------------------
+
+    @export
+    def save(self, path: str) -> int:
+        """Dump the whole store to a file; returns the record count.
+
+        Record format: ``klen(2B) key vlen(4B) value``, staged through
+        a shared buffer because the filesystem compartment copies via
+        LibC (the same shared-data annotation rule as socket I/O).
+        """
+        from repro.libos.fs.ramfs import O_CREAT, O_TRUNC, O_WRONLY
+
+        vfs = self.stub("vfs")
+        staging = self._alloc.call("malloc_shared", self.BUF_SIZE)
+        fd = vfs.call("open", path, O_WRONLY | O_CREAT | O_TRUNC)
+        records = 0
+        try:
+            for key, (addr, length) in sorted(self._store.items()):
+                header = (
+                    len(key).to_bytes(2, "big")
+                    + key
+                    + length.to_bytes(4, "big")
+                )
+                self.machine.store(staging, header)
+                if length:
+                    # App copies its private value into the shared
+                    # staging area itself (confused-deputy rule).
+                    self.machine.copy(staging + len(header), addr, length)
+                vfs.call("write", fd, staging, len(header) + length)
+                records += 1
+        finally:
+            vfs.call("close", fd)
+            self._alloc.call("free_shared", staging)
+        return records
+
+    @export
+    def load(self, path: str) -> int:
+        """Restore the store from a dump; returns the record count."""
+        from repro.libos.fs.ramfs import O_RDONLY
+
+        vfs = self.stub("vfs")
+        staging = self._alloc.call("malloc_shared", self.BUF_SIZE)
+        fd = vfs.call("open", path, O_RDONLY)
+        records = 0
+        try:
+            while True:
+                got = vfs.call("read", fd, staging, 2)
+                if got < 2:
+                    break
+                key_len = int.from_bytes(self.machine.load(staging, 2), "big")
+                vfs.call("read", fd, staging, key_len + 4)
+                raw = self.machine.load(staging, key_len + 4)
+                key = raw[:key_len]
+                value_len = int.from_bytes(raw[key_len:], "big")
+                stored = self._alloc.call("malloc", max(1, value_len))
+                remaining = value_len
+                copied = 0
+                while remaining > 0:
+                    chunk = min(remaining, self.BUF_SIZE)
+                    vfs.call("read", fd, staging, chunk)
+                    self.machine.copy(stored + copied, staging, chunk)
+                    copied += chunk
+                    remaining -= chunk
+                old = self._store.pop(key, None)
+                if old is not None:
+                    self._alloc.call("free", old[0])
+                self._store[key] = (stored, value_len)
+                records += 1
+        finally:
+            vfs.call("close", fd)
+            self._alloc.call("free_shared", staging)
+        return records
+
+    # --- exports ---------------------------------------------------------------------
+
+    @export
+    def redis_stats(self) -> dict[str, int]:
+        """Command counters."""
+        return {
+            "sets": self.sets,
+            "gets": self.gets,
+            "misses": self.misses,
+            "errors": self.errors,
+            "responses": self.responses,
+        }
+
+    @export
+    def dbsize(self) -> int:
+        """Number of stored keys."""
+        return len(self._store)
+
+    def value_of(self, key: bytes) -> bytes | None:
+        """Test helper: read a stored value back out of simulated memory."""
+        entry = self._store.get(key)
+        if entry is None:
+            return None
+        if self.machine is None:
+            raise GateError("redis not installed")
+        addr, length = entry
+        return self.machine.dma_read(
+            self.compartment.address_space, addr, length
+        )

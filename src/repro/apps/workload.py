@@ -1,0 +1,292 @@
+"""Workload generators and measurement runners (the "client side").
+
+The paper drives its servers with an external iperf client and
+redis-benchmark; here the client is a pair of NIC callbacks that cost
+the measured server nothing (see :mod:`repro.libos.net.nic`):
+
+- :class:`IperfSource` — an open-loop bulk sender saturating the wire;
+- :class:`ClosedLoopSource` — a pipelining request/response client with
+  a bounded window, like redis-benchmark with pipelining.
+
+Runners build the measurement around :class:`repro.perf.meter.Meter`
+and return :class:`~repro.perf.meter.BenchResult` values.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.libos.net.packet import MSS, build_packet, unpack_header
+from repro.perf.meter import BenchResult, Meter
+
+if TYPE_CHECKING:
+    from repro.core.image import Image
+
+
+class IperfSource:
+    """Open-loop byte-stream sender: the wire is never idle."""
+
+    def __init__(self, port: int, total_bytes: int, chunk: int = MSS) -> None:
+        if not 0 < chunk <= MSS:
+            raise ValueError(f"chunk must be in (0, {MSS}]")
+        self.port = port
+        self.total_bytes = total_bytes
+        self.chunk = chunk
+        self.remaining = total_bytes
+        self._seq = 0
+
+    def __call__(self) -> bytes | None:
+        if self.remaining <= 0:
+            return None
+        size = min(self.chunk, self.remaining)
+        self.remaining -= size
+        packet = build_packet(self.port, b"\x55" * size, seq=self._seq)
+        self._seq += size
+        return packet
+
+
+class ClosedLoopSource:
+    """Pipelining request/response client with a bounded window.
+
+    ``source`` feeds the NIC rx pull; ``sink`` receives transmitted
+    responses and opens window slots.  Responses are validated against
+    ``expect_prefix`` when given.
+    """
+
+    def __init__(
+        self,
+        port: int,
+        payloads: list[bytes],
+        window: int = 4,
+        expect_prefix: bytes | None = None,
+        clock=None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        for payload in payloads:
+            if len(payload) > MSS:
+                raise ValueError("request payloads must fit one packet")
+        self.port = port
+        self.window = window
+        self.expect_prefix = expect_prefix
+        self._queue = deque(payloads)
+        self.total = len(payloads)
+        self.outstanding = 0
+        self.responses = 0
+        self.response_bytes = 0
+        self.bad_responses = 0
+        self.last_response = b""
+        self._seq = 0
+        #: Optional zero-arg callable returning simulated time; enables
+        #: per-request latency tracking (FIFO request/response pairing).
+        self._clock = clock
+        self._inflight_sends: deque[float] = deque()
+        #: Per-request simulated latencies (ns), FIFO-paired.
+        self.latencies_ns: list[float] = []
+
+    def source(self) -> bytes | None:
+        """NIC rx callback: next request packet, or None (window full)."""
+        if self.outstanding >= self.window or not self._queue:
+            return None
+        payload = self._queue.popleft()
+        self.outstanding += 1
+        if self._clock is not None:
+            self._inflight_sends.append(self._clock())
+        packet = build_packet(self.port, payload, seq=self._seq)
+        self._seq += len(payload)
+        return packet
+
+    def sink(self, frame: bytes) -> None:
+        """NIC tx callback: one response packet per request (≤ MSS)."""
+        header = unpack_header(frame)
+        payload = frame[16 : 16 + header.length]
+        self.responses += 1
+        self.response_bytes += len(payload)
+        self.last_response = payload
+        if self.expect_prefix is not None and not payload.startswith(
+            self.expect_prefix
+        ):
+            self.bad_responses += 1
+        if self._clock is not None and self._inflight_sends:
+            self.latencies_ns.append(self._clock() - self._inflight_sends.popleft())
+        self.outstanding = max(0, self.outstanding - 1)
+
+    @property
+    def done(self) -> bool:
+        """All requests answered."""
+        return self.responses >= self.total
+
+
+def _switch_budget(units: int) -> int:
+    """Generous context-switch cap so a wedged run fails fast."""
+    return 200 * units + 20_000
+
+
+def _wait_for_listener(image: "Image", port: int) -> None:
+    """Run until the server thread has bound its port.
+
+    A real client connects before sending; without this, the first
+    wire packets would arrive before ``listen`` and be dropped.
+    """
+    netstack = image.lib("netstack")
+    image.run(
+        until=lambda: port in netstack._conns_by_port, max_switches=10_000
+    )
+    if port not in netstack._conns_by_port:
+        raise RuntimeError(f"server never bound port {port}")
+
+
+def run_iperf(
+    image: "Image",
+    buffer_size: int,
+    total_bytes: int,
+    label: str = "",
+) -> BenchResult:
+    """Measure iperf receive throughput for one buffer size.
+
+    Spawns a fresh one-shot server thread on a fresh port, saturates
+    the wire, and measures the simulated time to absorb
+    ``total_bytes``.
+    """
+    app = image.lib("iperf")
+    netstack = image.lib("netstack")
+    port = app.next_port()
+    image.spawn(
+        f"iperf:{port}", app.make_server(port, buffer_size, total_bytes), app
+    )
+    _wait_for_listener(image, port)
+    source = IperfSource(port, total_bytes)
+    netstack.nic.rx_source = source
+    segments = -(-total_bytes // MSS)
+    with Meter(image.machine, label or f"iperf buf={buffer_size}") as meter:
+        image.run(
+            until=lambda: app.done,
+            max_switches=_switch_budget(segments + total_bytes // buffer_size),
+        )
+    if not app.done:
+        raise RuntimeError(
+            f"iperf run did not complete: received {app.received} of "
+            f"{total_bytes} bytes"
+        )
+    return meter.result(payload_bytes=total_bytes)
+
+
+def start_redis(image: "Image", port: int | None = None):
+    """Spawn the Redis server thread (idempotent per image)."""
+    app = image.lib("redis")
+    if app.running:
+        return app
+    bind_port = port if port is not None else app.PORT
+    image.spawn("redis-server", app.make_server(port), app)
+    _wait_for_listener(image, bind_port)
+    return app
+
+
+def make_set_payloads(
+    count: int, value_size: int, keyspace: int | None = None
+) -> list[bytes]:
+    """SET request payloads cycling over a bounded keyspace."""
+    keys = keyspace if keyspace is not None else count
+    value = b"v" * value_size
+    return [
+        b"SET key%d %d\n" % (index % keys, value_size) + value
+        for index in range(count)
+    ]
+
+
+def make_get_payloads(count: int, keyspace: int) -> list[bytes]:
+    """GET request payloads cycling over a bounded keyspace."""
+    return [b"GET key%d\n" % (index % keyspace) for index in range(count)]
+
+
+def run_closed_loop(
+    image: "Image",
+    port: int,
+    payloads: list[bytes],
+    window: int = 4,
+    label: str = "",
+    expect_prefix: bytes | None = None,
+) -> BenchResult:
+    """Run one batch of request/response traffic against a server.
+
+    Responses are counted per transmitted packet, so servers whose
+    replies exceed one MSS (streamed responses) should be driven with
+    requests that keep replies single-packet, or with a custom sink.
+    """
+    netstack = image.lib("netstack")
+    source = ClosedLoopSource(
+        port,
+        payloads,
+        window=window,
+        expect_prefix=expect_prefix,
+        clock=lambda: image.machine.cpu.clock_ns,
+    )
+    netstack.nic.rx_source = source.source
+    netstack.nic.tx_sink = source.sink
+    with Meter(image.machine, label or f"closed-loop x{len(payloads)}") as meter:
+        image.run(
+            until=lambda: source.done,
+            max_switches=_switch_budget(len(payloads)),
+        )
+    if not source.done:
+        raise RuntimeError(
+            f"closed-loop phase stalled: {source.responses}/{source.total} "
+            f"responses"
+        )
+    if source.bad_responses:
+        raise RuntimeError(f"{source.bad_responses} malformed responses")
+    result = meter.result(
+        payload_bytes=source.response_bytes, requests=source.total
+    )
+    result.latencies_ns = list(source.latencies_ns)
+    return result
+
+
+def run_redis_phase(
+    image: "Image",
+    payloads: list[bytes],
+    window: int = 4,
+    label: str = "",
+    expect_prefix: bytes | None = None,
+) -> BenchResult:
+    """Run one batch of requests against a started Redis server."""
+    app = image.lib("redis")
+    return run_closed_loop(
+        image,
+        app.PORT,
+        payloads,
+        window=window,
+        label=label or f"redis x{len(payloads)}",
+        expect_prefix=expect_prefix,
+    )
+
+
+def start_httpd(image: "Image", port: int | None = None):
+    """Spawn the httpd server thread (idempotent per image)."""
+    app = image.lib("httpd")
+    if app.running:
+        return app
+    bind_port = port if port is not None else app.PORT
+    image.spawn("httpd-server", app.make_server(port), app)
+    _wait_for_listener(image, bind_port)
+    return app
+
+
+def populate_files(image: "Image", files: dict[str, bytes]) -> None:
+    """Create files in the image's vfs (host-side test/bench setup)."""
+    from repro.libos.fs.ramfs import O_CREAT, O_TRUNC, O_WRONLY
+
+    if not files:
+        return
+    staging = image.call(
+        "alloc", "malloc_shared", max(64, max(len(v) for v in files.values()))
+    )
+    space = image.compartment_of("vfs").address_space
+    for path, content in files.items():
+        fd = image.call("vfs", "open", path, O_WRONLY | O_CREAT | O_TRUNC)
+        if content:
+            image.machine.dma_write(space, staging, content)
+            image.call("vfs", "write", fd, staging, len(content))
+        image.call("vfs", "close", fd)
+    image.call("alloc", "free_shared", staging)

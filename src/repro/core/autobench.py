@@ -1,0 +1,112 @@
+"""Simulation-backed performance estimation for the explorer.
+
+The paper's exploration strategies need a performance number per
+candidate deployment.  The analytic estimator
+(:func:`repro.core.explorer.estimate_crossing_cost`) is cheap but
+unit-free; this module provides the accurate alternative: **build the
+candidate image and run a representative workload in it**, returning
+simulated nanoseconds per request (lower is better).  Expensive by
+comparison (tens of milliseconds of host time per candidate), fine for
+micro-library design spaces with a handful of SH combinations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.config import BuildConfig
+
+if TYPE_CHECKING:
+    from repro.core.hardening import Deployment
+
+
+def build_for_deployment(
+    deployment: "Deployment",
+    libraries: list[str],
+    backend: str = "mpk-shared",
+    **config_overrides,
+):
+    """Materialise a deployment into a bootable image.
+
+    The deployment's coloring becomes the compartment grouping and its
+    SH choices become the hardening map.  ``backend`` applies when the
+    deployment has more than one compartment; a single-compartment
+    deployment needs no isolation hardware.
+    """
+    from repro.core.builder import build_image
+
+    groups = deployment.compartments
+    config = BuildConfig(
+        libraries=libraries,
+        compartments=groups,
+        backend=backend if len(groups) > 1 else "none",
+        hardening={
+            lib: techniques
+            for lib, techniques in deployment.choices.items()
+            if techniques
+        },
+        **config_overrides,
+    )
+    return build_image(config)
+
+
+def simulated_perf_fn(
+    libraries: list[str],
+    workload: str = "iperf",
+    backend: str = "mpk-shared",
+    scale: int = 1,
+    **config_overrides,
+) -> Callable[["Deployment"], float]:
+    """A ``perf_fn`` for :class:`repro.core.explorer.Explorer`.
+
+    Returns simulated **ns per unit of work** (per byte for iperf, per
+    request for redis) for each candidate deployment; results are
+    memoised per coloring+choices so repeated strategy queries don't
+    rebuild images.
+    """
+    if workload not in ("iperf", "redis"):
+        raise ValueError(f"unknown workload {workload!r}")
+    cache: dict = {}
+
+    def measure(deployment: "Deployment") -> float:
+        key = (
+            tuple(sorted(deployment.coloring.items())),
+            tuple(sorted(deployment.choices.items())),
+        )
+        if key in cache:
+            return cache[key]
+        image = build_for_deployment(
+            deployment, libraries, backend, **config_overrides
+        )
+        if workload == "iperf":
+            from repro.apps import run_iperf
+
+            total = scale * (1 << 17)
+            result = run_iperf(image, 1024, total)
+            cost = result.elapsed_ns / total
+        else:
+            from repro.apps import (
+                make_get_payloads,
+                make_set_payloads,
+                run_redis_phase,
+                start_redis,
+            )
+
+            start_redis(image)
+            run_redis_phase(
+                image,
+                make_set_payloads(32, 50, keyspace=32),
+                window=8,
+                expect_prefix=b"+OK",
+            )
+            result = run_redis_phase(
+                image,
+                make_get_payloads(scale * 200, 32),
+                window=8,
+                expect_prefix=b"$",
+            )
+            cost = result.ns_per_request
+        cache[key] = cost
+        return cost
+
+    return measure

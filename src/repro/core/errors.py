@@ -1,0 +1,19 @@
+"""Errors raised by the FlexOS core (spec language, build system)."""
+
+from __future__ import annotations
+
+
+class FlexOSError(Exception):
+    """Base class for core-level errors."""
+
+
+class SpecError(FlexOSError):
+    """Malformed library metadata (DSL syntax or semantic errors)."""
+
+
+class CompatibilityError(FlexOSError):
+    """A configuration violates the libraries' compatibility constraints."""
+
+
+class BuildError(FlexOSError):
+    """Invalid build configuration or failed image construction."""

@@ -1,0 +1,255 @@
+"""Design-space exploration (paper §2, "Design Overview").
+
+The two strategies the paper sketches:
+
+1. "Given a performance target and a set of predefined compartments,
+   find the combination of isolation primitives that maximizes security
+   within a certain performance budget" —
+   :meth:`Explorer.max_security_within_budget`.
+2. "Given a set of safety requirements, find a compliant instantiation
+   that yields the best performance" —
+   :meth:`Explorer.best_performance_meeting`.
+
+Performance can be estimated analytically (:func:`estimate_crossing_cost`,
+cheap, good for ranking) or measured by actually building and running
+the image (pass a simulation-backed ``perf_fn``; the benchmarks do
+this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.errors import CompatibilityError
+from repro.core.hardening import Deployment, LibraryDef, enumerate_deployments
+
+#: Relative runtime weight of each SH technique (used by the analytic
+#: estimator; roughly proportional to the measured Table-1 overheads).
+SH_WEIGHTS = {
+    "asan": 3.0,
+    "kasan": 3.0,
+    "mte": 0.8,
+    "dfi": 2.0,
+    "ubsan": 1.0,
+    "cfi": 0.5,
+    "stackprotector": 0.3,
+    "safestack": 0.2,
+}
+
+
+def estimate_crossing_cost(
+    deployment: Deployment,
+    libdefs: list[LibraryDef],
+    crossing_weight: float = 1.0,
+    sh_weight: float = 1.0,
+) -> float:
+    """Analytic cost: boundary call-graph edges + SH instrumentation.
+
+    Counts the (static) call-graph edges that end up crossing a
+    compartment boundary — each such edge becomes a gate at runtime —
+    plus a weight for every hardened library.  Unit-free: useful for
+    ranking candidate deployments, not for absolute predictions.
+    """
+    by_name = {libdef.name: libdef for libdef in libdefs}
+    crossings = 0
+    for name, color in deployment.coloring.items():
+        calls = by_name[name].true_behavior.get("calls") or []
+        for target in calls:
+            callee = target.split("::", 1)[0]
+            if callee in deployment.coloring and deployment.coloring[callee] != color:
+                crossings += 1
+    sh_cost = sum(
+        SH_WEIGHTS.get(technique, 1.0)
+        for techniques in deployment.choices.values()
+        for technique in techniques
+    )
+    return crossing_weight * crossings + sh_weight * sh_cost
+
+
+def security_score(deployment: Deployment) -> float:
+    """Heuristic security value of a deployment (higher = safer).
+
+    Rewards separation (each additional compartment is a hardware
+    boundary an attacker must cross), SH coverage, and penalises
+    libraries whose effective spec still allows wild writes while
+    sharing a compartment with anyone.
+    """
+    score = 5.0 * (deployment.num_compartments - 1)
+    for techniques in deployment.choices.values():
+        score += 2.0 * len(techniques)
+    sizes: dict[int, int] = {}
+    for color in deployment.coloring.values():
+        sizes[color] = sizes.get(color, 0) + 1
+    for name, spec in deployment.specs.items():
+        if spec.writes_everything and sizes[deployment.coloring[name]] > 1:
+            score -= 4.0
+    return score
+
+
+def requirement_satisfied(
+    deployment: Deployment, requirement: str, libdefs: list[LibraryDef]
+) -> bool:
+    """Evaluate one safety requirement against a deployment.
+
+    Supported vocabulary:
+
+    - ``isolated:<lib>`` — the library sits alone in its compartment;
+    - ``write-protected:<lib>`` — no co-resident library's effective
+      spec can write the library's private memory;
+    - ``cfi:<lib>`` — the library's effective calls are bounded;
+    - ``no-wild-writes`` — every library with unbounded writes is
+      either hardened out of them or isolated alone (the paper's
+      "no buffer overflows" style requirement).
+    """
+    coloring = deployment.coloring
+    sizes: dict[int, int] = {}
+    for color in coloring.values():
+        sizes[color] = sizes.get(color, 0) + 1
+
+    if requirement == "no-wild-writes":
+        return all(
+            not spec.writes_everything or sizes[coloring[name]] == 1
+            for name, spec in deployment.specs.items()
+        )
+    if ":" not in requirement:
+        raise CompatibilityError(f"unknown requirement {requirement!r}")
+    kind, lib = requirement.split(":", 1)
+    if lib not in coloring:
+        raise CompatibilityError(f"requirement names unknown library {lib!r}")
+    if kind == "isolated":
+        return sizes[coloring[lib]] == 1
+    if kind == "write-protected":
+        return all(
+            not spec.writes_everything
+            for name, spec in deployment.specs.items()
+            if name != lib and coloring[name] == coloring[lib]
+        )
+    if kind == "cfi":
+        return deployment.specs[lib].calls is not None
+    raise CompatibilityError(f"unknown requirement kind {kind!r}")
+
+
+#: Device classes and the isolation backends their hardware supports
+#: (paper §2: deployments should be able to "run on the largest number
+#: of devices (based on the availability of hardware-based
+#: mechanisms)").  SH-only deployments (one compartment) run anywhere.
+DEVICE_PROFILES: dict[str, frozenset[str]] = {
+    "x86-mpk-kvm": frozenset({"none", "mpk-shared", "mpk-switched", "vm-rpc"}),
+    "x86-legacy-kvm": frozenset({"none", "vm-rpc"}),
+    "arm-virt": frozenset({"none", "vm-rpc"}),
+    "cheri-morello": frozenset({"none", "cheri"}),
+    "embedded-no-virt": frozenset({"none"}),
+}
+
+#: Isolating backends ordered by crossing cost (cheapest first), used
+#: to pick the fastest mechanism a device offers.
+_BACKEND_PREFERENCE = ("cheri", "mpk-shared", "mpk-switched", "vm-rpc")
+
+
+def backend_for_device(
+    deployment: Deployment, device_backends: frozenset[str]
+) -> str | None:
+    """The cheapest backend that realises ``deployment`` on a device.
+
+    Single-compartment deployments need no isolation hardware; multi-
+    compartment ones need some isolating mechanism.  ``None`` means the
+    device cannot host the deployment.
+    """
+    if deployment.num_compartments <= 1:
+        return "none"
+    for backend in _BACKEND_PREFERENCE:
+        if backend in device_backends:
+            return backend
+    return None
+
+
+class Explorer:
+    """Enumerates and ranks feasible deployments for a library set."""
+
+    def __init__(
+        self,
+        libdefs: list[LibraryDef],
+        alternatives: bool = False,
+        isolate: tuple[str, ...] = (),
+    ) -> None:
+        self.libdefs = libdefs
+        self._deployments = enumerate_deployments(
+            libdefs, alternatives, isolate=isolate
+        )
+
+    @property
+    def deployments(self) -> list[Deployment]:
+        """Every feasible deployment (SH combination × coloring)."""
+        return list(self._deployments)
+
+    def default_perf(self, deployment: Deployment) -> float:
+        """The analytic cost estimator bound to this library set."""
+        return estimate_crossing_cost(deployment, self.libdefs)
+
+    def max_security_within_budget(
+        self,
+        budget: float,
+        perf_fn: Callable[[Deployment], float] | None = None,
+    ) -> Deployment | None:
+        """Strategy 1: the safest deployment whose cost fits the budget."""
+        perf = perf_fn if perf_fn is not None else self.default_perf
+        candidates = [d for d in self._deployments if perf(d) <= budget]
+        if not candidates:
+            return None
+        return max(candidates, key=security_score)
+
+    def best_performance_meeting(
+        self,
+        requirements: list[str],
+        perf_fn: Callable[[Deployment], float] | None = None,
+    ) -> Deployment | None:
+        """Strategy 2: the cheapest deployment meeting all requirements."""
+        perf = perf_fn if perf_fn is not None else self.default_perf
+        candidates = [
+            d
+            for d in self._deployments
+            if all(
+                requirement_satisfied(d, requirement, self.libdefs)
+                for requirement in requirements
+            )
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=perf)
+
+    def most_portable(
+        self,
+        requirements: list[str],
+        devices: dict[str, frozenset[str]] | None = None,
+        perf_fn: Callable[[Deployment], float] | None = None,
+    ) -> tuple[Deployment, dict[str, str]] | None:
+        """Strategy 2b: the requirement-compliant deployment that runs
+        on the most devices.
+
+        Returns ``(deployment, {device: backend})`` covering the widest
+        slice of ``devices`` (default: :data:`DEVICE_PROFILES`); ties
+        break toward the better-performing deployment.  Deployments
+        whose safety comes from software hardening rather than hardware
+        isolation naturally win here — the paper's argument for keeping
+        the mechanism choice open until deployment time.
+        """
+        device_map = devices if devices is not None else DEVICE_PROFILES
+        perf = perf_fn if perf_fn is not None else self.default_perf
+        best: tuple[Deployment, dict[str, str]] | None = None
+        best_key: tuple[int, float] | None = None
+        for deployment in self._deployments:
+            if not all(
+                requirement_satisfied(deployment, requirement, self.libdefs)
+                for requirement in requirements
+            ):
+                continue
+            placements = {}
+            for device, backends in device_map.items():
+                backend = backend_for_device(deployment, backends)
+                if backend is not None:
+                    placements[device] = backend
+            key = (-len(placements), perf(deployment))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (deployment, placements)
+        return best

@@ -1,0 +1,261 @@
+"""Metadata-level software-hardening transformations (paper §2).
+
+"We first create in FlexOS a machine-readable description of the impact
+each SH technique has on the safety behavior of a library.  This is a
+transformation that takes as input a library definition and outputs a
+changed definition describing the safety behavior of the library when
+the SH technique is enabled."
+
+- CFI: ``Call(*)`` → ``Call(func. list)`` populated via a standard
+  control-flow analysis (here: the library's ``TRUE_BEHAVIOR`` facts);
+- DFI: if the data-flow graph shows all writes go to own data,
+  ``Write(*)`` → ``Write(Own[,Shared])``;
+- ASAN: like DFI for writes, and additionally bounds reads.
+
+"The result of this step will be a list of libraries that have two
+versions: one with SH, and one without.  We then iterate through all
+combinations of such library versions and run the graph coloring
+algorithm" — :func:`enumerate_deployments`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from repro.core.compatibility import conflict_graph
+from repro.core.coloring import color_classes, minimum_coloring
+from repro.core.errors import SpecError
+from repro.core.metadata import LibrarySpec, Region
+
+#: Region-name strings accepted in TRUE_BEHAVIOR facts.
+_REGION_BY_NAME = {"Own": Region.OWN, "Shared": Region.SHARED, "*": Region.ALL}
+
+
+def _regions_from_names(names: list[str]) -> frozenset[Region]:
+    regions = set()
+    for name in names:
+        region = _REGION_BY_NAME.get(name)
+        if region is None:
+            raise SpecError(f"unknown region name {name!r} in behaviour facts")
+        regions.add(region)
+    return frozenset(regions)
+
+
+@dataclasses.dataclass(frozen=True)
+class LibraryDef:
+    """A library as the design-space tooling sees it.
+
+    ``spec`` is the developer-declared (conservative) metadata;
+    ``true_behavior`` holds the facts a static control/data-flow
+    analysis would establish, used by the transformations to narrow the
+    spec when an SH technique enforces those facts at runtime.
+    """
+
+    name: str
+    spec: LibrarySpec
+    true_behavior: dict = dataclasses.field(default_factory=dict)
+
+
+class SpecTransformation:
+    """Base class: how one SH technique rewrites a library spec."""
+
+    technique = "abstract"
+
+    def applicable(self, libdef: LibraryDef) -> bool:
+        """Would applying this technique change the library's spec?"""
+        raise NotImplementedError
+
+    def transform(self, libdef: LibraryDef, spec: LibrarySpec) -> LibrarySpec:
+        """Rewrite ``spec`` assuming the technique is enforced."""
+        raise NotImplementedError
+
+
+class CFITransformation(SpecTransformation):
+    """``Call(*)`` → the analysed call list."""
+
+    technique = "cfi"
+
+    def applicable(self, libdef: LibraryDef) -> bool:
+        return (
+            libdef.spec.calls is None
+            and libdef.true_behavior.get("calls") is not None
+        )
+
+    def transform(self, libdef: LibraryDef, spec: LibrarySpec) -> LibrarySpec:
+        calls = libdef.true_behavior.get("calls")
+        if calls is None or spec.calls is not None:
+            return spec
+        return dataclasses.replace(spec, calls=frozenset(calls))
+
+
+class DFITransformation(SpecTransformation):
+    """``Write(*)`` → the analysed write regions."""
+
+    technique = "dfi"
+
+    def applicable(self, libdef: LibraryDef) -> bool:
+        return (
+            libdef.spec.writes_everything
+            and libdef.true_behavior.get("writes") is not None
+        )
+
+    def transform(self, libdef: LibraryDef, spec: LibrarySpec) -> LibrarySpec:
+        writes = libdef.true_behavior.get("writes")
+        if writes is None or not spec.writes_everything:
+            return spec
+        return dataclasses.replace(spec, writes=_regions_from_names(writes))
+
+
+class ASANTransformation(SpecTransformation):
+    """Bounds both writes and reads to the analysed regions."""
+
+    technique = "asan"
+
+    def applicable(self, libdef: LibraryDef) -> bool:
+        has_write_facts = libdef.true_behavior.get("writes") is not None
+        has_read_facts = libdef.true_behavior.get("reads") is not None
+        return (libdef.spec.writes_everything and has_write_facts) or (
+            libdef.spec.reads_everything and has_read_facts
+        )
+
+    def transform(self, libdef: LibraryDef, spec: LibrarySpec) -> LibrarySpec:
+        writes = libdef.true_behavior.get("writes")
+        reads = libdef.true_behavior.get("reads")
+        if spec.writes_everything and writes is not None:
+            spec = dataclasses.replace(spec, writes=_regions_from_names(writes))
+        if spec.reads_everything and reads is not None:
+            spec = dataclasses.replace(spec, reads=_regions_from_names(reads))
+        return spec
+
+
+#: Transformation registry, by technique name.  "kasan" and "mte"
+#: bound memory behaviour the same way ASAN does (they enforce the same
+#: facts at runtime, by software shadow or hardware tags respectively).
+TRANSFORMATIONS: dict[str, SpecTransformation] = {
+    t.technique: t
+    for t in (CFITransformation(), DFITransformation(), ASANTransformation())
+}
+TRANSFORMATIONS["kasan"] = TRANSFORMATIONS["asan"]
+TRANSFORMATIONS["mte"] = TRANSFORMATIONS["asan"]
+
+
+def transform_spec(libdef: LibraryDef, techniques: tuple[str, ...]) -> LibrarySpec:
+    """Apply each technique's transformation to the library's spec."""
+    spec = libdef.spec
+    for technique in techniques:
+        transformation = TRANSFORMATIONS.get(technique)
+        if transformation is None:
+            # Cost-only techniques (ubsan, stackprotector, safestack)
+            # don't change the safety spec.
+            continue
+        spec = transformation.transform(libdef, spec)
+    return spec
+
+
+def sh_variants(libdef: LibraryDef, alternatives: bool = False) -> list[tuple[str, ...]]:
+    """The SH versions a library can be built in (paper's enumeration).
+
+    "1) for each library that writes to all memory, enable DFI / ASAN;
+    2) for each library that can execute arbitrary code, enable CFI."
+    Returns technique tuples, always starting with the unhardened
+    ``()`` variant.  With ``alternatives=True``, both the ASAN- and the
+    DFI-flavoured fix for unbounded writes are emitted.
+    """
+    variants: list[tuple[str, ...]] = [()]
+    needs_write_fix = TRANSFORMATIONS["asan"].applicable(libdef) or TRANSFORMATIONS[
+        "dfi"
+    ].applicable(libdef)
+    needs_call_fix = TRANSFORMATIONS["cfi"].applicable(libdef)
+    call_part = ("cfi",) if needs_call_fix else ()
+    if needs_write_fix:
+        variants.append(("asan",) + call_part)
+        if alternatives and TRANSFORMATIONS["dfi"].applicable(libdef):
+            variants.append(("dfi",) + call_part)
+    elif needs_call_fix:
+        variants.append(call_part)
+    return variants
+
+
+@dataclasses.dataclass(frozen=True)
+class Deployment:
+    """One feasible build: SH choices + resulting compartment layout."""
+
+    #: library name → techniques applied ("" tuple = unhardened).
+    choices: dict[str, tuple[str, ...]]
+    #: library name → effective (possibly transformed) spec.
+    specs: dict[str, LibrarySpec]
+    #: library name → compartment color.
+    coloring: dict[str, int]
+
+    @property
+    def num_compartments(self) -> int:
+        """Number of compartments the coloring produced."""
+        return max(self.coloring.values()) + 1 if self.coloring else 0
+
+    @property
+    def compartments(self) -> list[list[str]]:
+        """Compartment contents, one sorted list per color."""
+        return color_classes(self.coloring)
+
+    def hardened_libraries(self) -> list[str]:
+        """Libraries built with at least one SH technique."""
+        return sorted(name for name, techs in self.choices.items() if techs)
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary."""
+        parts = []
+        for index, members in enumerate(self.compartments):
+            decorated = [
+                name
+                + (
+                    f"[{'+'.join(self.choices[name])}]"
+                    if self.choices[name]
+                    else ""
+                )
+                for name in members
+            ]
+            parts.append(f"compartment {index}: {', '.join(decorated)}")
+        return "; ".join(parts)
+
+
+def enumerate_deployments(
+    libdefs: list[LibraryDef],
+    alternatives: bool = False,
+    isolate: tuple[str, ...] = (),
+) -> list[Deployment]:
+    """All SH-variant combinations, each minimally colored.
+
+    "This will result in as many colorings as there are possible
+    combinations of libraries."
+
+    ``isolate`` names libraries the user wants in their own
+    compartments regardless of metadata compatibility — the paper's
+    "set of predefined compartments (e.g. isolate the application and
+    the network stack from everything else)".  Implemented as extra
+    conflict edges, so the coloring still minimises everything else.
+    """
+    names = {libdef.name for libdef in libdefs}
+    for name in isolate:
+        if name not in names:
+            raise SpecError(f"isolate names unknown library {name!r}")
+    option_lists = [sh_variants(libdef, alternatives) for libdef in libdefs]
+    deployments = []
+    for combo in itertools.product(*option_lists):
+        choices = {
+            libdef.name: techs for libdef, techs in zip(libdefs, combo)
+        }
+        specs = {
+            libdef.name: transform_spec(libdef, techs)
+            for libdef, techs in zip(libdefs, combo)
+        }
+        nodes, edges = conflict_graph(list(specs.values()))
+        for name in isolate:
+            for other in nodes:
+                if other != name:
+                    edges.add(frozenset({name, other}))
+        coloring = minimum_coloring(nodes, edges)
+        deployments.append(
+            Deployment(choices=choices, specs=specs, coloring=coloring)
+        )
+    return deployments

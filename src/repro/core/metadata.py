@@ -1,0 +1,173 @@
+"""The FlexOS library metadata model (the paper's spec language).
+
+Each micro-library's API is complemented with metadata specifying
+(§2 of the paper):
+
+1. the areas of memory the library can access in normal *and
+   adversarial* operation (``[Memory access]``);
+2. the functions it calls (``[Call]``);
+3. the API it exposes (``[API]``);
+4. ``[Requires]`` — the expected behaviour of *other* components
+   sharing its compartment, without which its safety properties do not
+   hold.
+
+Semantics used throughout:
+
+- Memory regions are :class:`Region`: ``OWN`` (the library's private
+  memory), ``SHARED`` (the designated shared area), or ``ALL`` (``*`` —
+  anything reachable in the compartment, i.e. the library's behaviour
+  cannot be bounded: a hijacked execution may read/write everything).
+- ``calls`` is either a frozenset of ``"lib::fn"`` targets or ``None``
+  meaning ``*`` (may execute arbitrary code / call anything).
+- :class:`Requires` clauses are *allowances*: for each category that
+  appears, anything not allowed is forbidden.  A category that never
+  appears is unconstrained.  Allowing a write to a region implies
+  allowing the read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable
+
+
+class Region(enum.Enum):
+    """Memory areas a library may touch."""
+
+    OWN = "Own"
+    SHARED = "Shared"
+    ALL = "*"
+
+    def __str__(self) -> str:  # pragma: no cover - display
+        return self.value
+
+
+def normalize_regions(regions: Iterable[Region]) -> frozenset[Region]:
+    """Collapse region sets: ``ALL`` absorbs everything else."""
+    regions = frozenset(regions)
+    if Region.ALL in regions:
+        return frozenset({Region.ALL})
+    return regions
+
+
+@dataclasses.dataclass(frozen=True)
+class Requires:
+    """Allowances a library demands of its compartment neighbours.
+
+    Each field is ``None`` when that category is unconstrained:
+
+    - ``reads``: regions of *this library's view* others may read —
+      ``OWN`` means "my private memory", ``SHARED`` the shared area;
+    - ``writes``: regions others may write;
+    - ``calls``: names of this library's entry points others may call
+      (``None`` = any control transfer tolerated).
+    """
+
+    reads: frozenset[Region] | None = None
+    writes: frozenset[Region] | None = None
+    calls: frozenset[str] | None = None
+
+    def allowed_reads(self) -> frozenset[Region] | None:
+        """Read allowances, including those implied by write allowances."""
+        if self.reads is None:
+            return None
+        implied = self.writes if self.writes is not None else frozenset()
+        return self.reads | implied
+
+    @property
+    def empty(self) -> bool:
+        """True if no category is constrained."""
+        return self.reads is None and self.writes is None and self.calls is None
+
+
+@dataclasses.dataclass(frozen=True)
+class LibrarySpec:
+    """Complete FlexOS metadata for one micro-library."""
+
+    name: str
+    reads: frozenset[Region] = frozenset({Region.OWN, Region.SHARED})
+    writes: frozenset[Region] = frozenset({Region.OWN, Region.SHARED})
+    #: ``None`` means ``Call *``; else explicit ``lib::fn`` targets.
+    calls: frozenset[str] | None = None
+    api: tuple[str, ...] = ()
+    requires: Requires | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "reads", normalize_regions(self.reads))
+        object.__setattr__(self, "writes", normalize_regions(self.writes))
+
+    # --- adversarial behaviour queries ------------------------------------------
+
+    @property
+    def writes_everything(self) -> bool:
+        """True if the library's writes cannot be bounded (``Write(*)``)."""
+        return Region.ALL in self.writes
+
+    @property
+    def reads_everything(self) -> bool:
+        """True if the library's reads cannot be bounded (``Read(*)``)."""
+        return Region.ALL in self.reads
+
+    @property
+    def calls_anything(self) -> bool:
+        """True if the library may execute arbitrary calls (``Call *``)."""
+        return self.calls is None
+
+    def writes_region(self, region: Region) -> bool:
+        """May this library write ``region`` (directly or via ALL)?"""
+        return region in self.writes or self.writes_everything
+
+    def reads_region(self, region: Region) -> bool:
+        """May this library read ``region`` (directly or via ALL)?"""
+        return region in self.reads or self.reads_everything
+
+    def calls_into(self, other: str) -> frozenset[str] | None:
+        """Functions of ``other`` this library calls (None = unbounded)."""
+        if self.calls is None:
+            return None
+        return frozenset(
+            target.split("::", 1)[1]
+            for target in self.calls
+            if target.split("::", 1)[0] == other
+        )
+
+    def with_requires(self, requires: Requires | None) -> "LibrarySpec":
+        """Copy with a different Requires section."""
+        return dataclasses.replace(self, requires=requires)
+
+    def describe(self) -> str:
+        """Render back into the paper's DSL form.
+
+        Note one lossy corner: the DSL has no syntax for an *empty*
+        allowance list (e.g. ``Requires(calls=frozenset())`` — "no call
+        may enter"), so such clauses render as absent and re-parse as
+        unconstrained.  Construct such specs programmatically.
+        """
+        reads = ",".join(sorted(str(r) for r in self.reads))
+        writes = ",".join(sorted(str(w) for w in self.writes))
+        lines = [f"[Memory access] Read({reads}); Write({writes})"]
+        lines.append(
+            "[Call] " + ("*" if self.calls is None else ", ".join(sorted(self.calls)))
+        )
+        if self.api:
+            lines.append("[API] " + "; ".join(self.api))
+        if self.requires is not None and not self.requires.empty:
+            clauses = []
+            if self.requires.reads is not None:
+                clauses += [f"*(Read,{r})" for r in sorted(str(x) for x in self.requires.reads)]
+            if self.requires.writes is not None:
+                clauses += [f"*(Write,{w})" for w in sorted(str(x) for x in self.requires.writes)]
+            if self.requires.calls is not None:
+                clauses += [f"*(Call, {c})" for c in sorted(self.requires.calls)]
+            lines.append("[Requires] " + ", ".join(clauses))
+        return "\n".join(lines)
+
+
+#: Spec of a maximally-unsafe component (the paper's unsafe-C example).
+UNSAFE_SPEC_TEMPLATE = LibrarySpec(
+    name="unsafe",
+    reads=frozenset({Region.ALL}),
+    writes=frozenset({Region.ALL}),
+    calls=None,
+)

@@ -1,0 +1,177 @@
+"""Parser for the FlexOS metadata DSL.
+
+Accepts the notation of the paper's examples::
+
+    [Memory access] Read(Own,Shared); Write(Own,Shared)
+    [Call] alloc::malloc, alloc::free
+    [API] thread_add(...); thread_rm(...); yield(...)
+    [Requires] *(Read,Own), *(Write,Shared), *(Call, thread_add), *...
+
+Rules:
+
+- ``[Memory access]`` is mandatory; ``Read``/``Write`` take a
+  comma-separated region list out of ``Own``, ``Shared``, ``*``.
+- ``[Call]`` is optional; *absent* means unknown and is treated as
+  ``*`` (conservative), while *present but empty* means "calls
+  nothing".  Targets must be qualified ``lib::fn``.
+- ``[API]`` lists exported entry points; parameter lists are ignored.
+- ``[Requires]`` holds allowance clauses ``*(Read,R)``, ``*(Write,R)``,
+  ``*(Call, fn)``; a trailing ``*...`` ellipsis (as in the paper's
+  scheduler example) is tolerated and ignored.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import SpecError
+from repro.core.metadata import LibrarySpec, Region, Requires
+
+_SECTION_RE = re.compile(r"\[(Memory access|Call|API|Requires)\]", re.IGNORECASE)
+_ACCESS_RE = re.compile(r"(Read|Write)\s*\(\s*([^)]*)\s*\)", re.IGNORECASE)
+_REQUIRES_CLAUSE_RE = re.compile(
+    r"\*\s*\(\s*(Read|Write|Call)\s*,\s*([^)]+?)\s*\)", re.IGNORECASE
+)
+_ELLIPSIS_RE = re.compile(r"\*\s*(\.\s*){3}")
+
+_REGION_NAMES = {
+    "own": Region.OWN,
+    "shared": Region.SHARED,
+    "*": Region.ALL,
+}
+
+
+def _split_sections(text: str) -> dict[str, str]:
+    sections: dict[str, str] = {}
+    matches = list(_SECTION_RE.finditer(text))
+    if not matches:
+        raise SpecError("no metadata sections found")
+    head = text[: matches[0].start()].strip()
+    if head:
+        raise SpecError(f"unexpected text before first section: {head!r}")
+    for index, match in enumerate(matches):
+        name = match.group(1).lower()
+        end = matches[index + 1].start() if index + 1 < len(matches) else len(text)
+        body = text[match.end() : end].strip()
+        if name in sections:
+            raise SpecError(f"duplicate section [{match.group(1)}]")
+        sections[name] = body
+    return sections
+
+
+def _parse_region_list(raw: str, where: str) -> frozenset[Region]:
+    regions = set()
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        region = _REGION_NAMES.get(token.lower())
+        if region is None:
+            raise SpecError(f"unknown region {token!r} in {where}")
+        regions.add(region)
+    if not regions:
+        raise SpecError(f"empty region list in {where}")
+    return frozenset(regions)
+
+
+def _parse_memory_access(body: str) -> tuple[frozenset[Region], frozenset[Region]]:
+    reads: frozenset[Region] | None = None
+    writes: frozenset[Region] | None = None
+    for kind, raw in _ACCESS_RE.findall(body):
+        regions = _parse_region_list(raw, f"{kind}(...)")
+        if kind.lower() == "read":
+            if reads is not None:
+                raise SpecError("duplicate Read(...) clause")
+            reads = regions
+        else:
+            if writes is not None:
+                raise SpecError("duplicate Write(...) clause")
+            writes = regions
+    if reads is None or writes is None:
+        raise SpecError("[Memory access] must declare both Read(...) and Write(...)")
+    return reads, writes
+
+
+def _parse_calls(body: str) -> frozenset[str] | None:
+    body = body.strip()
+    if body == "*":
+        return None
+    targets = set()
+    for token in body.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "::" not in token:
+            raise SpecError(
+                f"call target {token!r} must be qualified as lib::fn"
+            )
+        targets.add(token)
+    return frozenset(targets)
+
+
+def _parse_api(body: str) -> tuple[str, ...]:
+    names = []
+    for token in body.split(";"):
+        token = token.strip()
+        if not token:
+            continue
+        name = token.split("(", 1)[0].strip()
+        if not name.isidentifier():
+            raise SpecError(f"invalid API entry {token!r}")
+        names.append(name)
+    return tuple(names)
+
+
+def _parse_requires(body: str) -> Requires:
+    remainder = _ELLIPSIS_RE.sub("", body)
+    reads: set[Region] | None = None
+    writes: set[Region] | None = None
+    calls: set[str] | None = None
+    matched_spans = []
+    for match in _REQUIRES_CLAUSE_RE.finditer(remainder):
+        matched_spans.append(match.span())
+        kind = match.group(1).lower()
+        value = match.group(2).strip()
+        if kind == "call":
+            if calls is None:
+                calls = set()
+            calls.add(value)
+            continue
+        region = _REGION_NAMES.get(value.lower())
+        if region is None:
+            raise SpecError(f"unknown region {value!r} in Requires clause")
+        if kind == "read":
+            reads = (reads or set()) | {region}
+        else:
+            writes = (writes or set()) | {region}
+    leftovers = _REQUIRES_CLAUSE_RE.sub("", remainder).replace(",", "").strip()
+    if leftovers:
+        raise SpecError(f"unparsed Requires text: {leftovers!r}")
+    return Requires(
+        reads=frozenset(reads) if reads is not None else None,
+        writes=frozenset(writes) if writes is not None else None,
+        calls=frozenset(calls) if calls is not None else None,
+    )
+
+
+def parse_spec(name: str, text: str) -> LibrarySpec:
+    """Parse a DSL document into a :class:`LibrarySpec`."""
+    sections = _split_sections(text)
+    if "memory access" not in sections:
+        raise SpecError(f"{name}: missing [Memory access] section")
+    reads, writes = _parse_memory_access(sections["memory access"])
+    calls = (
+        _parse_calls(sections["call"]) if "call" in sections else None
+    )
+    api = _parse_api(sections.get("api", ""))
+    requires = (
+        _parse_requires(sections["requires"]) if "requires" in sections else None
+    )
+    return LibrarySpec(
+        name=name,
+        reads=reads,
+        writes=writes,
+        calls=calls,
+        api=api,
+        requires=requires,
+    )

@@ -1,0 +1,42 @@
+"""Gates: the interchangeable isolation backends of FlexOS.
+
+A gate is what sits between two compartments: it validates the entry
+point, performs the protection-domain switch, accounts its cost, and
+copies arguments/returns.  The paper's Figure 2 lists the menu this
+package implements:
+
+- :class:`~repro.gates.funccall.DirectChannel` — plain function call
+  (same compartment, no isolation);
+- :class:`~repro.gates.mpk_shared.MPKSharedStackGate` — MPK with a
+  shared stack domain (ERIM-like);
+- :class:`~repro.gates.mpk_switched.MPKSwitchedStackGate` — MPK with
+  per-compartment stacks switched at the boundary (HODOR-like);
+- :class:`~repro.gates.vm_rpc.VMRPCGate` — RPC across VM/EPT
+  boundaries (Xen/KVM-like).
+
+All gates expose the same caller API (via ``Stub``), so swapping the
+isolation backend never changes library code — FlexOS's core claim.
+"""
+
+from repro.gates.base import Gate, GateOptions
+from repro.gates.cheri import CHERIGate
+from repro.gates.funccall import DirectChannel, ProfileChannel
+from repro.gates.guard import GuardedChannel
+from repro.gates.mpk_shared import MPKSharedStackGate
+from repro.gates.mpk_switched import MPKSwitchedStackGate
+from repro.gates.registry import GATE_KINDS, make_gate
+from repro.gates.vm_rpc import VMRPCGate
+
+__all__ = [
+    "CHERIGate",
+    "DirectChannel",
+    "GATE_KINDS",
+    "Gate",
+    "GateOptions",
+    "GuardedChannel",
+    "MPKSharedStackGate",
+    "MPKSwitchedStackGate",
+    "ProfileChannel",
+    "VMRPCGate",
+    "make_gate",
+]

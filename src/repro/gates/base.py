@@ -1,0 +1,125 @@
+"""Gate base machinery: entry-point checks, caller-side instrumentation.
+
+Every gate (and the direct-call channel) enforces the micro-library API
+surface: only exported functions can be invoked, so "code execution
+starts only at well-defined entry points" regardless of backend.  The
+caller side charges the caller profile's per-call instrumentation
+(stack protector, SafeStack) and runs its call monitors (CFI target
+checks) — hardening travels with the *calling* compartment's code, not
+with the channel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.libos.library import CallChannelProtocol
+from repro.machine.faults import GateError
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+    from repro.libos.library import MicroLibrary
+    from repro.machine.machine import Machine
+
+
+@dataclasses.dataclass
+class GateOptions:
+    """Per-gate security/performance knobs (paper Fig. 2 menu)."""
+
+    #: Clear scratch registers on domain switches (prevents data leaks
+    #: through registers at a small per-crossing cost).
+    clear_registers: bool = True
+    #: Bytes charged for copying one argument/return value.
+    word_bytes: int = 8
+
+
+class Gate(CallChannelProtocol):
+    """Common behaviour for every channel implementation."""
+
+    #: Short backend identifier ("direct", "mpk-shared", ...).
+    KIND = "abstract"
+
+    def __init__(
+        self,
+        machine: "Machine",
+        caller_lib: "MicroLibrary",
+        callee_lib: "MicroLibrary",
+        options: GateOptions | None = None,
+    ) -> None:
+        self.machine = machine
+        self.caller_lib = caller_lib
+        self.callee_lib = callee_lib
+        self.options = options if options is not None else GateOptions()
+        self.crossings = 0
+
+    # --- shared plumbing ----------------------------------------------------
+
+    def _lookup(self, fn: str, blocking: bool):
+        """Entry-point enforcement: only exports are callable."""
+        callee = self.callee_lib
+        handler = callee.exports.get(fn)
+        if handler is None:
+            raise GateError(
+                f"{callee.NAME} has no export {fn!r} "
+                f"(called from {self.caller_lib.NAME})"
+            )
+        is_blocking = fn in callee.blocking_exports
+        if blocking and not is_blocking:
+            raise GateError(f"{callee.NAME}.{fn} is not a blocking export")
+        if not blocking and is_blocking:
+            raise GateError(
+                f"{callee.NAME}.{fn} is blocking; use call_gen / yield from"
+            )
+        return handler
+
+    def _caller_side(self, fn: str) -> None:
+        """Charge the call itself plus caller-profile instrumentation."""
+        cpu = self.machine.cpu
+        profile = cpu.current.profile
+        cpu.charge(self.machine.cost.call_ns + profile.call_extra_ns)
+        for monitor in profile.call_monitors:
+            monitor(self.caller_lib.NAME, self.callee_lib.NAME, fn)
+
+    # --- domain switch hooks (overridden by real gates) ---------------------------
+
+    def _enter(self, fn: str, args: tuple) -> None:
+        """Perform/charge the switch into the callee's domain."""
+
+    def _exit(self) -> None:
+        """Perform/charge the switch back into the caller's domain."""
+
+    # --- channel interface ---------------------------------------------------------
+
+    def invoke(self, fn: str, args: tuple) -> Any:
+        handler = self._lookup(fn, blocking=False)
+        self._caller_side(fn)
+        self._enter(fn, args)
+        try:
+            return handler(*args)
+        finally:
+            self._exit()
+
+    def invoke_gen(self, fn: str, args: tuple) -> Generator:
+        handler = self._lookup(fn, blocking=True)
+        self._caller_side(fn)
+        self._enter(fn, args)
+        try:
+            result = yield from handler(*args)
+        except GeneratorExit:
+            # The thread was destroyed while parked inside the callee:
+            # its entire saved protection-context stack (including the
+            # context this gate pushed) is discarded with it, so there
+            # is nothing to restore on the live CPU.
+            raise
+        except BaseException:
+            self._exit()
+            raise
+        self._exit()
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} {self.caller_lib.NAME}->"
+            f"{self.callee_lib.NAME}>"
+        )

@@ -1,0 +1,90 @@
+"""The capability gate: CHERI-style domain crossings with delegation.
+
+Figure 2's gate menu includes capability hardware ("e.g. protection
+keys, capabilities [CHERI]").  This backend isolates compartments by
+*reachability* rather than page tags: code can only dereference memory
+covered by the capabilities its context holds.  A crossing is a sealed
+capability invocation — cheaper than an MPK WRPKRU pair — and the gate
+**delegates** bounded capabilities for the call's pointer arguments,
+revoked automatically when the crossing returns (the callee context is
+popped with its grants).
+
+Libraries describe delegations in ``CAP_GRANTS``: export name → tuple
+of ``(pointer_index, size_index_or_fixed)`` pairs, where the second
+element is either the index of the length argument or, if negative,
+``-fixed_size``.  Exports without grant metadata still work: the callee
+can then only reach its own memory plus the shared area.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gates.base import Gate, GateOptions
+from repro.machine.capabilities import base_capabilities
+from repro.machine.faults import GateError
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+    from repro.libos.library import MicroLibrary
+    from repro.machine.machine import Machine
+
+
+class CHERIGate(Gate):
+    """Capability invocation with per-call pointer delegation."""
+
+    KIND = "cheri"
+
+    def __init__(
+        self,
+        machine: "Machine",
+        caller_lib: "MicroLibrary",
+        callee_lib: "MicroLibrary",
+        options: GateOptions | None = None,
+    ) -> None:
+        super().__init__(machine, caller_lib, callee_lib, options)
+        self.callee_comp: "Compartment" = callee_lib.compartment
+        if self.callee_comp.capabilities is None:
+            raise GateError(
+                f"CHERIGate to {callee_lib.NAME}: compartment has no "
+                f"capability set (build with backend='cheri')"
+            )
+
+    def _grants_for(self, fn: str, args: tuple):
+        for pointer_index, size_spec in self.callee_lib.CAP_GRANTS.get(fn, ()):
+            if pointer_index >= len(args):
+                continue
+            addr = args[pointer_index]
+            if not isinstance(addr, int):
+                continue
+            if size_spec < 0:
+                size = -size_spec
+            elif size_spec < len(args) and isinstance(args[size_spec], int):
+                size = args[size_spec]
+            else:
+                continue
+            yield addr, size
+
+    def _enter(self, fn: str, args: tuple) -> None:
+        cpu = self.machine.cpu
+        cost = self.machine.cost
+        cpu.charge(cost.cheri_crossing_ns)
+        capabilities = self.callee_comp.capabilities.derive()
+        for addr, size in self._grants_for(fn, args):
+            cpu.charge(cost.cheri_grant_ns)
+            capabilities.grant(addr, size)
+            cpu.bump("cap_grants")
+        cpu.bump("gate_crossings")
+        cpu.bump("cheri_crossings")
+        self.crossings += 1
+        context = self.callee_comp.make_context(
+            label=f"cap:{self.callee_lib.NAME}.{fn}"
+        )
+        context.capabilities = capabilities
+        cpu.push_context(context)
+
+    def _exit(self) -> None:
+        cpu = self.machine.cpu
+        # Popping the context revokes every delegated capability.
+        cpu.pop_context()
+        cpu.charge(self.machine.cost.cheri_crossing_ns + self.machine.cost.ret_ns)

@@ -1,0 +1,71 @@
+"""No-hardware-isolation channels: plain function calls.
+
+:class:`DirectChannel` serves edges whose endpoints share a compartment
+— FlexOS's builder "will replace the call gates with direct function
+calls" in that case.  It still enforces the export surface and
+caller-side instrumentation, but performs no switch of any kind.
+
+:class:`ProfileChannel` serves *cross-compartment* edges when the
+isolation backend is "none": there is no protection-domain switch (and
+no switch cost), but the callee's code was compiled with the callee
+compartment's hardening, so the instrumentation profile must follow the
+code — software hardening is a property of the compartment's binary,
+not of the calling thread.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gates.base import Gate, GateOptions
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+    from repro.libos.library import MicroLibrary
+    from repro.machine.machine import Machine
+
+
+class DirectChannel(Gate):
+    """Same-compartment call: entry checks, no protection switch."""
+
+    KIND = "direct"
+
+    def _enter(self, fn: str, args: tuple) -> None:
+        self.crossings += 1
+        self.machine.cpu.bump("direct_calls")
+
+    def _exit(self) -> None:
+        self.machine.cpu.charge(self.machine.cost.ret_ns)
+
+
+class ProfileChannel(Gate):
+    """Cross-compartment call without hardware isolation.
+
+    Costs the same as a direct call but carries the callee
+    compartment's instrumentation profile (so e.g. an ASAN-hardened
+    LibC pays ASAN costs for its own code even when called from an
+    unhardened application compartment).
+    """
+
+    KIND = "profile"
+
+    def __init__(
+        self,
+        machine: "Machine",
+        caller_lib: "MicroLibrary",
+        callee_lib: "MicroLibrary",
+        options: GateOptions | None = None,
+    ) -> None:
+        super().__init__(machine, caller_lib, callee_lib, options)
+        self.callee_comp: "Compartment" = callee_lib.compartment
+
+    def _enter(self, fn: str, args: tuple) -> None:
+        self.crossings += 1
+        self.machine.cpu.bump("direct_calls")
+        self.machine.cpu.push_context(
+            self.callee_comp.make_context(label=f"{self.callee_lib.NAME}.{fn}")
+        )
+
+    def _exit(self) -> None:
+        self.machine.cpu.pop_context()
+        self.machine.cpu.charge(self.machine.cost.ret_ns)

@@ -1,0 +1,100 @@
+"""Trust-boundary API guards (paper §5, "Isolation alone is not enough").
+
+"Traditional system call APIs are designed from the outset as a trust
+boundary ... when the API was previously developed without a trust
+model, introducing isolation is a more complex task; isolation alone is
+not enough."  And: "we only want to execute such checks when they are
+really needed, depending on the instantiated kernel configuration: if
+component A is together with component B in the same trust domain, then
+checks are not necessary, but they are when component C (in another
+domain) calls component B."
+
+:class:`GuardedChannel` is the auto-generated wrapper the paper
+envisions: the builder composes it around *cross-compartment* channels
+only, so intra-compartment calls pay nothing.  Two check families:
+
+- **preconditions** from the callee's :attr:`API_CONTRACTS` metadata
+  (e.g. "recv size must be positive", "queue id must be live");
+- **pointer validation** from :attr:`POINTER_PARAMS`: reference
+  arguments crossing a trust boundary must point into shareable memory
+  — a callee dereferencing a caller-supplied pointer into *its own*
+  privileged memory is the classic confused deputy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.libos.library import CallChannelProtocol
+from repro.machine.faults import BoundaryViolation
+
+if TYPE_CHECKING:
+    from repro.libos.library import MicroLibrary
+    from repro.machine.machine import Machine
+
+
+class GuardedChannel(CallChannelProtocol):
+    """Wraps a channel with the callee's boundary checks."""
+
+    KIND = "guarded"
+
+    def __init__(
+        self,
+        inner: CallChannelProtocol,
+        machine: "Machine",
+        callee_lib: "MicroLibrary",
+        shared_ranges: list[tuple[int, int]],
+    ) -> None:
+        self.inner = inner
+        self.machine = machine
+        self.callee_lib = callee_lib
+        self.shared_ranges = list(shared_ranges)
+        self.checks_performed = 0
+        self.rejections = 0
+
+    # --- checks -----------------------------------------------------------
+
+    def _pointer_ok(self, addr: Any) -> bool:
+        if not isinstance(addr, int):
+            return False
+        return any(start <= addr < end for start, end in self.shared_ranges)
+
+    def _check(self, fn: str, args: tuple) -> None:
+        cost = self.machine.cost
+        callee = self.callee_lib
+        for predicate, description in callee.API_CONTRACTS.get(fn, []):
+            self.machine.cpu.charge(cost.contract_check_ns)
+            self.machine.cpu.bump("boundary_checks")
+            self.checks_performed += 1
+            try:
+                ok = bool(predicate(args))
+            except Exception:
+                ok = False
+            if not ok:
+                self.rejections += 1
+                raise BoundaryViolation(callee.NAME, fn, description)
+        for index in callee.POINTER_PARAMS.get(fn, ()):
+            self.machine.cpu.charge(cost.contract_check_ns)
+            self.machine.cpu.bump("boundary_checks")
+            self.checks_performed += 1
+            if index >= len(args) or not self._pointer_ok(args[index]):
+                self.rejections += 1
+                raise BoundaryViolation(
+                    callee.NAME,
+                    fn,
+                    f"pointer argument {index} does not reference shareable "
+                    f"memory",
+                )
+
+    # --- channel interface ------------------------------------------------------
+
+    def invoke(self, fn: str, args: tuple) -> Any:
+        self._check(fn, args)
+        return self.inner.invoke(fn, args)
+
+    def invoke_gen(self, fn: str, args: tuple) -> Generator:
+        self._check(fn, args)
+        return (yield from self.inner.invoke_gen(fn, args))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GuardedChannel({self.inner!r})"

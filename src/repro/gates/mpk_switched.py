@@ -1,0 +1,46 @@
+"""The MPK switched-stack gate (HODOR-like).
+
+Heap, static memory *and stacks* are per-compartment.  Each crossing
+switches to a per-thread stack owned by the target compartment, copies
+the call's parameters onto it, and copies the return value back; stack
+data that must be visible across the boundary is placed on the shared
+heap.  Stronger isolation than the shared-stack gate at a higher
+per-crossing cost — exactly the 1.4× vs 2.25× spread the paper's
+Figure 5 measures for Redis.
+"""
+
+from __future__ import annotations
+
+from repro.gates.mpk_shared import MPKSharedStackGate
+
+
+class MPKSwitchedStackGate(MPKSharedStackGate):
+    """MPK gate with per-compartment stacks and parameter copying."""
+
+    KIND = "mpk-switched"
+
+    def _enter(self, fn: str, args: tuple) -> None:
+        cpu = self.machine.cpu
+        cost = self.machine.cost
+        # Stack switch plus copying each parameter word to the target
+        # compartment's stack.
+        arg_bytes = max(1, len(args)) * self.options.word_bytes
+        cpu.charge(
+            cost.stack_switch_ns
+            + cost.mem_op_ns
+            + arg_bytes * cost.mem_byte_ns * 2  # read caller stack, write callee
+        )
+        cpu.bump("stack_switches")
+        super()._enter(fn, args)
+
+    def _exit(self) -> None:
+        cpu = self.machine.cpu
+        cost = self.machine.cost
+        # Switch back and copy the return value to the caller's stack.
+        cpu.charge(
+            cost.stack_switch_ns
+            + cost.mem_op_ns
+            + self.options.word_bytes * cost.mem_byte_ns * 2
+        )
+        cpu.bump("stack_switches")
+        super()._exit()

@@ -1,0 +1,43 @@
+"""Gate registry: backend name → gate class."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gates.base import Gate, GateOptions
+from repro.gates.cheri import CHERIGate
+from repro.gates.funccall import DirectChannel, ProfileChannel
+from repro.gates.mpk_shared import MPKSharedStackGate
+from repro.gates.mpk_switched import MPKSwitchedStackGate
+from repro.gates.vm_rpc import VMRPCGate
+from repro.machine.faults import GateError
+
+if TYPE_CHECKING:
+    from repro.libos.library import MicroLibrary
+    from repro.machine.machine import Machine
+
+#: All selectable gate backends, by configuration name.
+GATE_KINDS: dict[str, type[Gate]] = {
+    DirectChannel.KIND: DirectChannel,
+    ProfileChannel.KIND: ProfileChannel,
+    CHERIGate.KIND: CHERIGate,
+    MPKSharedStackGate.KIND: MPKSharedStackGate,
+    MPKSwitchedStackGate.KIND: MPKSwitchedStackGate,
+    VMRPCGate.KIND: VMRPCGate,
+}
+
+
+def make_gate(
+    kind: str,
+    machine: "Machine",
+    caller_lib: "MicroLibrary",
+    callee_lib: "MicroLibrary",
+    options: GateOptions | None = None,
+) -> Gate:
+    """Instantiate the gate class registered under ``kind``."""
+    gate_cls = GATE_KINDS.get(kind)
+    if gate_cls is None:
+        raise GateError(
+            f"unknown gate kind {kind!r}; known: {sorted(GATE_KINDS)}"
+        )
+    return gate_cls(machine, caller_lib, callee_lib, options)

@@ -1,0 +1,26 @@
+"""The Unikraft-like micro-library OS substrate.
+
+FlexOS extends a modular LibOS (Unikraft) whose fine-grained components
+— scheduler, memory allocator, network stack, libc, message queue — are
+*micro-libraries* with explicit APIs.  This package provides those
+micro-libraries for the reproduction, plus the library/linker plumbing
+that lets the builder replace cross-library calls with gates.
+"""
+
+from repro.libos.compartment import Compartment
+from repro.libos.library import (
+    Linker,
+    MicroLibrary,
+    Stub,
+    export,
+    export_blocking,
+)
+
+__all__ = [
+    "Compartment",
+    "Linker",
+    "MicroLibrary",
+    "Stub",
+    "export",
+    "export_blocking",
+]

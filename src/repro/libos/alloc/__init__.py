@@ -1,0 +1,6 @@
+"""Memory allocation micro-library (Unikraft ukalloc analogue)."""
+
+from repro.libos.alloc.allocator import AllocationError, HeapAllocator
+from repro.libos.alloc.liballoc import AllocLibrary
+
+__all__ = ["AllocationError", "AllocLibrary", "HeapAllocator"]

@@ -1,0 +1,106 @@
+"""The ``alloc`` micro-library: malloc/free as a gated service.
+
+Under the MPK backend the Memory Manager must be trusted (its domain
+includes the page table mapping pages to protection domains — paper
+§3), which its ``Requires`` clause below encodes: other libraries in
+its compartment may read but never write its memory.
+
+The builder may *replicate* this library — one instance per compartment
+— which is how FlexOS supports per-compartment allocators (mandatory
+for the VM backend, and required for fine-grained SH so that only
+hardened compartments pay for instrumented malloc).  ``malloc`` serves
+the compartment's private heap; ``malloc_shared`` serves the global
+shared heap used for data annotated as shared (mbufs, cross-domain I/O
+buffers).
+"""
+
+from __future__ import annotations
+
+from repro.libos.library import MicroLibrary, export
+from repro.machine.faults import GateError
+
+
+class AllocLibrary(MicroLibrary):
+    """Allocation service bound to its compartment's heaps."""
+
+    NAME = "alloc"
+    SPEC = """
+    [Memory access] Read(Own,Shared); Write(Own,Shared)
+    [Call]
+    [API] malloc(size); free(addr); malloc_shared(size); free_shared(addr); \
+malloc_shared_many(size, count); free_shared_many(addrs); heap_stats()
+    [Requires] *(Read,Own), *(Write,Shared), *(Call, malloc), *(Call, free), \
+*(Call, malloc_shared), *(Call, free_shared), *(Call, malloc_shared_many), \
+*(Call, free_shared_many), *(Call, heap_stats)
+    """
+    TRUE_BEHAVIOR = {"writes": ["Own", "Shared"], "reads": ["Own", "Shared"]}
+
+    API_CONTRACTS = {
+        "malloc": [(lambda args: args[0] > 0, "size must be positive")],
+        "malloc_shared": [(lambda args: args[0] > 0, "size must be positive")],
+        "malloc_shared_many": [
+            (lambda args: args[0] > 0 and args[1] > 0, "size and count positive"),
+        ],
+    }
+
+    def _private_heap(self):
+        allocator = self.compartment.allocator
+        if allocator is None:
+            raise GateError(f"{self.NAME}: no private heap configured")
+        return allocator
+
+    def _shared_heap(self):
+        allocator = self.compartment.shared_allocator
+        if allocator is None:
+            raise GateError(f"{self.NAME}: no shared heap configured")
+        return allocator
+
+    @export
+    def malloc(self, size: int) -> int:
+        """Allocate from the compartment-private heap."""
+        return self._private_heap().malloc(size)
+
+    @export
+    def free(self, addr: int) -> None:
+        """Free a private-heap block."""
+        self._private_heap().free(addr)
+
+    @export
+    def malloc_shared(self, size: int) -> int:
+        """Allocate from the shared heap (cross-compartment data)."""
+        return self._shared_heap().malloc(size)
+
+    @export
+    def free_shared(self, addr: int) -> None:
+        """Free a shared-heap block."""
+        self._shared_heap().free(addr)
+
+    @export
+    def malloc_shared_many(self, size: int, count: int) -> list[int]:
+        """Batch-allocate ``count`` shared blocks in one crossing.
+
+        Packet-buffer pools refill through this so that per-packet
+        allocation does not cost a gate crossing each (the pbuf-pool
+        pattern of lwip).
+        """
+        heap = self._shared_heap()
+        return [heap.malloc(size) for _ in range(count)]
+
+    @export
+    def free_shared_many(self, addrs: list[int]) -> None:
+        """Batch-free shared blocks in one crossing."""
+        heap = self._shared_heap()
+        for addr in addrs:
+            heap.free(addr)
+
+    @export
+    def heap_stats(self) -> dict[str, int]:
+        """Usage counters for both heaps (diagnostics)."""
+        private = self._private_heap()
+        shared = self._shared_heap()
+        return {
+            "private_in_use": private.bytes_in_use,
+            "private_live": private.live_blocks,
+            "shared_in_use": shared.bytes_in_use,
+            "shared_live": shared.live_blocks,
+        }

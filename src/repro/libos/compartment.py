@@ -1,0 +1,121 @@
+"""Runtime compartments: the protection domains of a built image.
+
+A compartment groups micro-libraries that the compatibility analysis
+allowed to share a trust domain.  At build time each compartment gets:
+
+- under the **MPK backend**: a protection key in the single shared
+  address space, and a PKRU value granting write access to its own key
+  plus the shared-data key (and, with shared-stack gates, the stack
+  key);
+- under the **VM backend**: its own :class:`~repro.machine.ept.VMDomain`
+  whose private pages no other VM maps;
+- a :class:`~repro.machine.cpu.DomainProfile` carrying the software
+  hardening instrumentation applied to it;
+- optionally its own heap allocator (the paper's per-compartment
+  allocator requirement for SH).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.machine.address_space import AddressSpace, Permissions
+from repro.machine.cpu import Context, DomainProfile
+from repro.machine.ept import VMDomain
+from repro.machine.mpk import PKEY_DEFAULT, pkru_all_access
+
+if TYPE_CHECKING:
+    from repro.machine.machine import Machine
+
+
+class Compartment:
+    """One protection domain of a built FlexOS image."""
+
+    def __init__(self, index: int, name: str, machine: "Machine") -> None:
+        self.index = index
+        self.name = name
+        self.machine = machine
+        #: Address space this compartment executes in.
+        self.address_space: AddressSpace | None = None
+        #: MPK protection key (MPK backend) — None under other backends.
+        self.pkey: int | None = None
+        #: PKRU register value loaded when entering this compartment.
+        self.pkru_value: int = pkru_all_access()
+        #: VM domain (EPT backend) — None under other backends.
+        self.vm_domain: VMDomain | None = None
+        #: Hardening/instrumentation profile of code in this domain.
+        self.profile = DomainProfile(name=name)
+        #: Libraries placed in this compartment.
+        self.libraries: list[Any] = []
+        #: Capability set (CHERI-style backend) — ``None`` otherwise.
+        self.capabilities: Any = None
+        #: Heap allocator serving this compartment's malloc calls.
+        self.allocator: Any = None
+        #: Allocator serving shared-data allocations (global).
+        self.shared_allocator: Any = None
+        #: (start, end) virtual ranges this compartment owns — written
+        #: by alloc_region/alloc_stack; consulted by write-set checks
+        #: (DFI) that must work even without protection keys.
+        self.owned_ranges: list[tuple[int, int]] = []
+        #: Protection key used for thread stacks homed here.  Equal to
+        #: ``pkey`` under switched-stack gates (stacks are isolated,
+        #: HODOR-style); equal to a global stack key under shared-stack
+        #: gates (stacks live in a domain shared by all compartments,
+        #: ERIM-style).  ``None`` means "use the compartment key".
+        self.stack_pkey: int | None = None
+
+    # --- memory ---------------------------------------------------------
+
+    def alloc_region(
+        self, size: int, perms: Permissions = Permissions.RW
+    ) -> int:
+        """Map a private region tagged with this compartment's key."""
+        if self.address_space is None:
+            raise RuntimeError(f"compartment {self.name} has no address space")
+        pkey = self.pkey if self.pkey is not None else PKEY_DEFAULT
+        addr = self.address_space.map_new(size, perms=perms, pkey=pkey)
+        self.owned_ranges.append((addr, addr + size))
+        return addr
+
+    def owns_address(self, vaddr: int) -> bool:
+        """True if ``vaddr`` lies in a region this compartment owns."""
+        return any(start <= vaddr < end for start, end in self.owned_ranges)
+
+    def alloc_stack(self, size: int) -> int:
+        """Map a thread-stack region with the backend's stack policy."""
+        if self.address_space is None:
+            raise RuntimeError(f"compartment {self.name} has no address space")
+        pkey = self.stack_pkey
+        if pkey is None:
+            pkey = self.pkey if self.pkey is not None else PKEY_DEFAULT
+        addr = self.address_space.map_new(
+            size, perms=Permissions.RW, pkey=pkey
+        )
+        self.owned_ranges.append((addr, addr + size))
+        return addr
+
+    # --- execution -------------------------------------------------------
+
+    def make_context(self, label: str = "") -> Context:
+        """Build an execution context entering this compartment."""
+        if self.address_space is None:
+            raise RuntimeError(f"compartment {self.name} has no address space")
+        return Context(
+            address_space=self.address_space,
+            pkru=self.pkru_value,
+            profile=self.profile,
+            label=label or self.name,
+            capabilities=self.capabilities,
+        )
+
+    def library_names(self) -> list[str]:
+        """Names of the libraries placed here."""
+        return [lib.NAME for lib in self.libraries]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        backend = (
+            f"pkey={self.pkey}"
+            if self.pkey is not None
+            else (f"vm={self.vm_domain.name}" if self.vm_domain else "flat")
+        )
+        return f"Compartment({self.index}, {self.name!r}, {backend})"

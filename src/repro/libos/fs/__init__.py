@@ -1,0 +1,5 @@
+"""Filesystem micro-library (vfscore/ramfs analogue)."""
+
+from repro.libos.fs.ramfs import FileSystemLibrary
+
+__all__ = ["FileSystemLibrary"]

@@ -1,0 +1,276 @@
+"""The ``vfs`` micro-library: an in-memory filesystem (ramfs).
+
+Unikraft ships a vfscore + ramfs pair as micro-libraries; FlexOS can
+place them in their own compartment like any other component.  File
+contents live in *simulated memory* — block-chained allocations from
+the compartment's heap — so filesystem data is subject to the same
+protection keys, hardening, and gate semantics as everything else.
+Callers hand in *shared* staging buffers (the usual shared-data
+annotation), and the filesystem performs the block-cache copies with
+its own code: under MPK no other compartment — not even LibC — may
+write the filesystem's private blocks, so delegating the copy would be
+the confused-deputy pattern §5 of the paper warns about.
+
+Like most big C filesystem code bases, its declared FlexOS metadata is
+conservative (``Read(*); Write(*); Call *``): unhardened, it will not
+be co-located with components that protect their memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.libos.library import MicroLibrary, export
+from repro.machine.faults import GateError
+
+#: Flags accepted by :meth:`FileSystemLibrary.open`.
+O_RDONLY = 0
+O_WRONLY = 1
+O_RDWR = 2
+O_CREAT = 0o100
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+@dataclasses.dataclass
+class _Inode:
+    """One file: block chain + size."""
+
+    path: str
+    blocks: list[int] = dataclasses.field(default_factory=list)
+    size: int = 0
+    nlink: int = 1
+
+
+@dataclasses.dataclass
+class _OpenFile:
+    """One open descriptor."""
+
+    fd: int
+    inode: _Inode
+    offset: int = 0
+    writable: bool = False
+    readable: bool = True
+
+
+class FileSystemLibrary(MicroLibrary):
+    """ramfs with a POSIX-flavoured export surface."""
+
+    NAME = "vfs"
+    SPEC = """
+    [Memory access] Read(*); Write(*)
+    [Call] *
+    [API] open(path, flags); close(fd); read(fd, buf, n); \
+write(fd, buf, n); lseek(fd, off, whence); unlink(path); fstat(fd); \
+stat(path); listdir(); fs_stats()
+    """
+    TRUE_BEHAVIOR = {
+        "writes": ["Own", "Shared"],
+        "reads": ["Own", "Shared"],
+        "calls": [
+            "alloc::malloc",
+            "alloc::free",
+        ],
+    }
+    API_CONTRACTS = {
+        "read": [(lambda args: args[2] >= 0, "length must be non-negative")],
+        "write": [(lambda args: args[2] >= 0, "length must be non-negative")],
+        "open": [
+            (
+                lambda args: isinstance(args[0], str) and bool(args[0]),
+                "path must be a non-empty string",
+            ),
+        ],
+    }
+    POINTER_PARAMS = {"read": (1,), "write": (1,)}
+    CAP_GRANTS = {"read": ((1, 2),), "write": ((1, 2),)}
+
+    #: Bytes per data block.
+    BLOCK_SIZE = 4096
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._inodes: dict[str, _Inode] = {}
+        self._open: dict[int, _OpenFile] = {}
+        self._next_fd = 3
+        self._alloc = None
+        self.reads = 0
+        self.writes = 0
+
+    def on_boot(self) -> None:
+        self._alloc = self.stub("alloc")
+
+    # --- helpers ------------------------------------------------------------
+
+    def _file(self, fd: int) -> _OpenFile:
+        open_file = self._open.get(fd)
+        if open_file is None:
+            raise GateError(f"bad file descriptor {fd}")
+        return open_file
+
+    def _grow_to(self, inode: _Inode, size: int) -> None:
+        while len(inode.blocks) * self.BLOCK_SIZE < size:
+            inode.blocks.append(self._alloc.call("malloc", self.BLOCK_SIZE))
+
+    def _release(self, inode: _Inode) -> None:
+        for block in inode.blocks:
+            self._alloc.call("free", block)
+        inode.blocks.clear()
+        inode.size = 0
+
+    # --- exports --------------------------------------------------------------
+
+    @export
+    def open(self, path: str, flags: int = O_RDONLY) -> int:
+        """Open (optionally create/truncate) a file; returns an fd."""
+        self.charge(self.machine.cost.fs_op_ns)
+        inode = self._inodes.get(path)
+        if inode is None:
+            if not flags & O_CREAT:
+                raise GateError(f"no such file: {path}")
+            inode = _Inode(path=path)
+            self._inodes[path] = inode
+        accmode = flags & 0o3
+        writable = accmode in (O_WRONLY, O_RDWR)
+        if flags & O_TRUNC and writable:
+            self._release(inode)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._open[fd] = _OpenFile(
+            fd=fd,
+            inode=inode,
+            offset=inode.size if flags & O_APPEND else 0,
+            writable=writable,
+            readable=accmode in (O_RDONLY, O_RDWR),
+        )
+        return fd
+
+    @export
+    def close(self, fd: int) -> None:
+        """Release a descriptor."""
+        self._file(fd)
+        del self._open[fd]
+
+    @export
+    def write(self, fd: int, buf_addr: int, length: int) -> int:
+        """Write ``length`` bytes from the caller's buffer at the offset."""
+        open_file = self._file(fd)
+        if not open_file.writable:
+            raise GateError(f"fd {fd} not open for writing")
+        if length < 0:
+            raise ValueError("write length must be non-negative")
+        self.charge(self.machine.cost.fs_op_ns)
+        inode = open_file.inode
+        end = open_file.offset + length
+        self._grow_to(inode, end)
+        copied = 0
+        while copied < length:
+            offset = open_file.offset + copied
+            block_index, block_offset = divmod(offset, self.BLOCK_SIZE)
+            chunk = min(length - copied, self.BLOCK_SIZE - block_offset)
+            self.machine.copy(
+                inode.blocks[block_index] + block_offset,
+                buf_addr + copied,
+                chunk,
+            )
+            copied += chunk
+        open_file.offset = end
+        inode.size = max(inode.size, end)
+        self.writes += 1
+        return length
+
+    @export
+    def read(self, fd: int, buf_addr: int, length: int) -> int:
+        """Read up to ``length`` bytes into the caller's buffer."""
+        open_file = self._file(fd)
+        if not open_file.readable:
+            raise GateError(f"fd {fd} not open for reading")
+        if length < 0:
+            raise ValueError("read length must be non-negative")
+        self.charge(self.machine.cost.fs_op_ns)
+        inode = open_file.inode
+        available = max(0, inode.size - open_file.offset)
+        to_read = min(length, available)
+        copied = 0
+        while copied < to_read:
+            offset = open_file.offset + copied
+            block_index, block_offset = divmod(offset, self.BLOCK_SIZE)
+            chunk = min(to_read - copied, self.BLOCK_SIZE - block_offset)
+            self.machine.copy(
+                buf_addr + copied,
+                inode.blocks[block_index] + block_offset,
+                chunk,
+            )
+            copied += chunk
+        open_file.offset += to_read
+        self.reads += 1
+        return to_read
+
+    @export
+    def lseek(self, fd: int, offset: int, whence: int = SEEK_SET) -> int:
+        """Reposition the descriptor; returns the new offset."""
+        open_file = self._file(fd)
+        if whence == SEEK_SET:
+            new_offset = offset
+        elif whence == SEEK_CUR:
+            new_offset = open_file.offset + offset
+        elif whence == SEEK_END:
+            new_offset = open_file.inode.size + offset
+        else:
+            raise ValueError(f"bad whence {whence}")
+        if new_offset < 0:
+            raise ValueError("negative file offset")
+        open_file.offset = new_offset
+        return new_offset
+
+    @export
+    def unlink(self, path: str) -> None:
+        """Delete a file and free its blocks."""
+        self.charge(self.machine.cost.fs_op_ns)
+        inode = self._inodes.pop(path, None)
+        if inode is None:
+            raise GateError(f"no such file: {path}")
+        self._release(inode)
+
+    @export
+    def fstat(self, fd: int) -> dict:
+        """Size/offset metadata for an open descriptor."""
+        open_file = self._file(fd)
+        return {
+            "path": open_file.inode.path,
+            "size": open_file.inode.size,
+            "offset": open_file.offset,
+            "blocks": len(open_file.inode.blocks),
+        }
+
+    @export
+    def stat(self, path: str) -> dict:
+        """Size metadata for a path."""
+        self.charge(self.machine.cost.fs_op_ns)
+        inode = self._inodes.get(path)
+        if inode is None:
+            raise GateError(f"no such file: {path}")
+        return {
+            "path": path,
+            "size": inode.size,
+            "blocks": len(inode.blocks),
+        }
+
+    @export
+    def listdir(self) -> list[str]:
+        """All file paths (flat namespace, like Unikraft's ramfs root)."""
+        return sorted(self._inodes)
+
+    @export
+    def fs_stats(self) -> dict:
+        """Operation counters."""
+        return {
+            "files": len(self._inodes),
+            "open_fds": len(self._open),
+            "reads": self.reads,
+            "writes": self.writes,
+        }

@@ -1,0 +1,5 @@
+"""The LibC micro-library (semaphores, memory and string operations)."""
+
+from repro.libos.libc.libc import LibCLibrary, Semaphore
+
+__all__ = ["LibCLibrary", "Semaphore"]

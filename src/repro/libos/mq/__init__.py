@@ -1,0 +1,5 @@
+"""Message-queue micro-library."""
+
+from repro.libos.mq.mq import MessageQueueLibrary
+
+__all__ = ["MessageQueueLibrary"]

@@ -1,0 +1,111 @@
+"""Bounded message queues built on LibC semaphores.
+
+The paper names a message queue as one of Unikraft's micro-libraries
+("a scheduler, a memory allocator or a message queue are all
+micro-libs").  Messages are descriptors (address, length) pointing at
+shared-heap data, so queues compose with any compartment layout: the
+payload is reachable on both sides, and the blocking push/pop paths
+exercise the same LibC→scheduler crossing chain as sockets do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Generator
+
+from repro.libos.library import MicroLibrary, export, export_blocking
+from repro.machine.faults import GateError
+
+
+@dataclasses.dataclass
+class _Queue:
+    """One bounded queue: descriptor ring plus its two semaphores."""
+
+    qid: int
+    capacity: int
+    items: deque
+    slots_sem: int  # counts free slots (producers wait on it)
+    items_sem: int  # counts queued messages (consumers wait on it)
+
+
+class MessageQueueLibrary(MicroLibrary):
+    """Bounded multi-producer/multi-consumer message queues."""
+
+    NAME = "mq"
+    SPEC = """
+    [Memory access] Read(Own,Shared); Write(Own,Shared)
+    [Call] libc::sem_new, libc::sem_p, libc::sem_v
+    [API] q_new(capacity); q_push(qid, addr, length); q_pop(qid); q_len(qid)
+    [Requires] *(Read,Own), *(Write,Shared), *(Call, q_new), *(Call, q_push), \
+*(Call, q_pop), *(Call, q_len)
+    """
+    TRUE_BEHAVIOR = {
+        "writes": ["Own", "Shared"],
+        "reads": ["Own", "Shared"],
+        "calls": ["libc::sem_new", "libc::sem_p", "libc::sem_v"],
+    }
+
+    API_CONTRACTS = {
+        "q_new": [
+            (lambda args: args[0] > 0, "capacity must be positive"),
+        ],
+        "q_push": [
+            (lambda args: args[2] >= 0, "length must be non-negative"),
+        ],
+    }
+    POINTER_PARAMS = {"q_push": (1,)}
+    CAP_GRANTS = {"q_push": ((1, 2),)}
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queues: dict[int, _Queue] = {}
+        self._next_qid = 1
+        self._libc = None
+
+    def on_boot(self) -> None:
+        self._libc = self.stub("libc")
+
+    def _queue(self, qid: int) -> _Queue:
+        queue = self._queues.get(qid)
+        if queue is None:
+            raise GateError(f"unknown queue {qid}")
+        return queue
+
+    @export
+    def q_new(self, capacity: int) -> int:
+        """Create a bounded queue; returns its id."""
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        qid = self._next_qid
+        self._next_qid += 1
+        self._queues[qid] = _Queue(
+            qid=qid,
+            capacity=capacity,
+            items=deque(),
+            slots_sem=self._libc.call("sem_new", capacity),
+            items_sem=self._libc.call("sem_new", 0),
+        )
+        return qid
+
+    @export_blocking
+    def q_push(self, qid: int, addr: int, length: int) -> Generator:
+        """Enqueue a message descriptor, blocking while the queue is full."""
+        queue = self._queue(qid)
+        yield from self._libc.call_gen("sem_p", queue.slots_sem)
+        queue.items.append((addr, length))
+        self._libc.call("sem_v", queue.items_sem)
+
+    @export_blocking
+    def q_pop(self, qid: int) -> Generator:
+        """Dequeue a message descriptor, blocking while the queue is empty."""
+        queue = self._queue(qid)
+        yield from self._libc.call_gen("sem_p", queue.items_sem)
+        addr, length = queue.items.popleft()
+        self._libc.call("sem_v", queue.slots_sem)
+        return (addr, length)
+
+    @export
+    def q_len(self, qid: int) -> int:
+        """Current number of queued messages."""
+        return len(self._queue(qid).items)

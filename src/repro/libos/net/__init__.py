@@ -1,0 +1,32 @@
+"""The network stack micro-library (lwip analogue) and simulated NIC."""
+
+from repro.libos.net.nic import NIC
+from repro.libos.net.packet import (
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_SYN,
+    HEADER_SIZE,
+    MSS,
+    MTU,
+    Header,
+    pack_header,
+    segment_payload,
+    unpack_header,
+)
+from repro.libos.net.stack import Connection, NetstackLibrary
+
+__all__ = [
+    "Connection",
+    "FLAG_FIN",
+    "FLAG_PSH",
+    "FLAG_SYN",
+    "HEADER_SIZE",
+    "Header",
+    "MSS",
+    "MTU",
+    "NIC",
+    "NetstackLibrary",
+    "pack_header",
+    "segment_payload",
+    "unpack_header",
+]

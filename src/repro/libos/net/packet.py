@@ -1,0 +1,99 @@
+"""Wire format of the simulated transport (a TCP-lite header).
+
+One fixed 16-byte header carries what the evaluation path needs: port
+demultiplexing, sequencing, payload length, and flags.  Checksums are
+assumed offloaded to the NIC (as on the paper's testbed), so the stack
+only parses/builds headers and never touches payload bytes on the rx
+path — payload copies happen in LibC's ``memcpy`` at ``recv`` time,
+which is what concentrates per-byte SH cost in LibC (Table 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+#: Header layout: src port, dst port, seq, ack, length, flags, pad.
+HEADER_FMT = "!HHIIHBB"
+HEADER_SIZE = struct.calcsize(HEADER_FMT)
+assert HEADER_SIZE == 16
+
+#: Maximum transmission unit (standard Ethernet).
+MTU = 1500
+#: Maximum segment size (payload bytes per packet).
+MSS = MTU - HEADER_SIZE
+
+FLAG_SYN = 0x01
+FLAG_FIN = 0x02
+FLAG_PSH = 0x04
+
+
+@dataclasses.dataclass
+class Header:
+    """Parsed packet header."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    length: int
+    flags: int = 0
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+
+def pack_header(header: Header) -> bytes:
+    """Serialise a header to its 16-byte wire form."""
+    return struct.pack(
+        HEADER_FMT,
+        header.src_port,
+        header.dst_port,
+        header.seq & 0xFFFFFFFF,
+        header.ack & 0xFFFFFFFF,
+        header.length,
+        header.flags,
+        0,
+    )
+
+
+def unpack_header(raw: bytes) -> Header:
+    """Parse the 16-byte wire form into a :class:`Header`."""
+    if len(raw) < HEADER_SIZE:
+        raise ValueError(f"short header: {len(raw)} bytes")
+    src, dst, seq, ack, length, flags, _pad = struct.unpack(
+        HEADER_FMT, raw[:HEADER_SIZE]
+    )
+    return Header(src, dst, seq, ack, length, flags)
+
+
+def build_packet(
+    dst_port: int,
+    payload: bytes,
+    src_port: int = 40000,
+    seq: int = 0,
+    flags: int = FLAG_PSH,
+) -> bytes:
+    """Assemble one packet (host-side helper for workload generators)."""
+    if len(payload) > MSS:
+        raise ValueError(f"payload exceeds MSS ({len(payload)} > {MSS})")
+    header = Header(src_port, dst_port, seq, 0, len(payload), flags)
+    return pack_header(header) + payload
+
+
+def segment_payload(
+    dst_port: int, payload: bytes, src_port: int = 40000, seq0: int = 0
+) -> list[bytes]:
+    """Split a byte stream into MSS-sized packets (workload helper)."""
+    packets = []
+    seq = seq0
+    for offset in range(0, len(payload), MSS):
+        chunk = payload[offset : offset + MSS]
+        packets.append(build_packet(dst_port, chunk, src_port, seq))
+        seq += len(chunk)
+    return packets

@@ -1,0 +1,119 @@
+"""Threads, wait queues, and scheduling directives.
+
+Thread bodies are Python generators.  A body — and any blocking
+micro-library call it makes via ``yield from stub.call_gen(...)`` —
+suspends by yielding a *directive*:
+
+- :data:`YIELD` — voluntarily give up the CPU, stay runnable;
+- :class:`Block` — sleep on a wait queue until woken.
+
+The run loop (in the scheduler micro-library) consumes directives.  A
+suspended thread's whole protection-context stack is saved in its
+control block, because it may be parked deep inside a chain of gate
+crossings; this mirrors the paper's observation that the scheduler
+"holds the value of the PKRU for threads that are not currently
+running" and therefore must be trusted under MPK.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Generator
+
+if TYPE_CHECKING:
+    from repro.machine.cpu import Context
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states of a simulated thread."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class Yield:
+    """Directive: give up the CPU but remain runnable."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "YIELD"
+
+
+#: The single Yield directive instance thread bodies should yield.
+YIELD = Yield()
+
+
+@dataclasses.dataclass
+class Block:
+    """Directive: park the current thread on ``waitq`` until woken."""
+
+    waitq: "WaitQueue"
+
+
+class WaitQueue:
+    """A FIFO of blocked threads (semaphores, socket readiness, ...)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._threads: deque["Thread"] = deque()
+
+    def park(self, thread: "Thread") -> None:
+        """Add a thread to the queue (run-loop use)."""
+        self._threads.append(thread)
+
+    def pop(self) -> "Thread | None":
+        """Remove and return the longest-waiting thread, if any."""
+        return self._threads.popleft() if self._threads else None
+
+    def __len__(self) -> int:
+        return len(self._threads)
+
+    def __contains__(self, thread: "Thread") -> bool:
+        return thread in self._threads
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WaitQueue({self.name!r}, waiting={len(self)})"
+
+
+class Thread:
+    """A simulated thread: generator body + saved protection contexts."""
+
+    def __init__(
+        self,
+        tid: int,
+        name: str,
+        body: Generator,
+        home_context: "Context",
+        stack_base: int = 0,
+        stack_size: int = 0,
+        home_compartment: object | None = None,
+    ) -> None:
+        self.tid = tid
+        self.name = name
+        self.body = body
+        self.state = ThreadState.READY
+        #: Compartment the thread's entry code lives in (used to decide
+        #: whether a context switch crosses a protection boundary).
+        self.home_compartment = home_compartment
+        #: Saved protection-context stack (PKRU + address space chain).
+        self.ctx_stack: list["Context"] = [home_context]
+        #: Wait queue the thread is currently parked on, if any.
+        self.waitq: WaitQueue | None = None
+        #: Home stack region (one per compartment under switched gates).
+        self.stack_base = stack_base
+        self.stack_size = stack_size
+        #: Number of times this thread was scheduled in.
+        self.switches = 0
+        #: Threads blocked in thread_join on this thread.
+        self.exit_waitq = WaitQueue(f"exit:{tid}")
+
+    @property
+    def done(self) -> bool:
+        """True once the body generator has finished."""
+        return self.state is ThreadState.DONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Thread({self.tid}, {self.name!r}, {self.state.value})"

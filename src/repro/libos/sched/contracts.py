@@ -1,0 +1,48 @@
+"""Runtime contract checking for verified components.
+
+The paper's scheduler is written in Dafny: its safety is established by
+pre/post-conditions proven statically.  When the generated code is
+embedded alongside untrusted C code, those conditions can no longer be
+assumed at the boundary, so FlexOS's glue code re-checks them at
+runtime ("we add these checks manually in our scheduler code").  This
+module is that glue: each :meth:`ContractKit.check` evaluates one
+clause, charges ``contract_check_ns``, and raises
+:class:`~repro.machine.faults.ContractViolation` on failure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.machine.faults import ContractViolation
+
+if TYPE_CHECKING:
+    from repro.machine.machine import Machine
+
+
+class ContractKit:
+    """Evaluates contract clauses for one verified component."""
+
+    def __init__(self, machine: "Machine", component: str) -> None:
+        self.machine = machine
+        self.component = component
+        self.checks_evaluated = 0
+        self.violations = 0
+
+    def check(self, condition: bool, description: str) -> None:
+        """Evaluate one pre/post-condition clause."""
+        self.machine.cpu.charge(self.machine.cost.contract_check_ns)
+        self.machine.cpu.bump("contract_checks")
+        self.checks_evaluated += 1
+        if not condition:
+            self.violations += 1
+            raise ContractViolation(self.component, description)
+
+    def check_all(self, clauses: list[tuple[bool, str]]) -> None:
+        """Evaluate a list of clauses in order."""
+        for condition, description in clauses:
+            self.check(condition, description)
+
+    def holds(self, condition: Callable[[], bool], description: str) -> None:
+        """Evaluate a lazily-computed clause."""
+        self.check(bool(condition()), description)

@@ -1,0 +1,320 @@
+"""The baseline cooperative scheduler (the paper's "C scheduler").
+
+Owns the run queue and the run loop.  Context switches charge the cost
+model's ``ctx_switch_ns`` (76.6 ns, the paper's measured figure for the
+C scheduler).  The scheduler's memory is as critical as the PKRU
+register itself — its spec therefore *requires* co-resident libraries
+to never write its memory, which is what forces untrusted C components
+out of its compartment (or into SH-hardened variants).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Generator
+
+from repro.libos.library import MicroLibrary, export, export_blocking
+from repro.libos.sched.base import Block, Thread, ThreadState, WaitQueue, Yield
+from repro.machine.faults import GateError
+
+
+class SchedulerIdle(Exception):
+    """Internal: raised when the run queue empties during run()."""
+
+
+class CoopScheduler(MicroLibrary):
+    """Cooperative round-robin scheduler micro-library."""
+
+    NAME = "sched"
+    SPEC = """
+    [Memory access] Read(Own,Shared); Write(Own,Shared)
+    [Call] alloc::malloc, alloc::free
+    [API] thread_add(thread); thread_rm(tid); yield_(); wake_one(waitq); \
+wake_all(waitq); block_notify(waitq); timer_register(deadline, waitq); \
+thread_join(tid)
+    [Requires] *(Read,Own), *(Write,Shared), *(Call, thread_add), \
+*(Call, thread_rm), *(Call, yield_), *(Call, wake_one), *(Call, wake_all), \
+*(Call, block_notify), *(Call, timer_register), *(Call, thread_join)
+    """
+    TRUE_BEHAVIOR = {"writes": ["Own", "Shared"], "reads": ["Own", "Shared"]}
+
+    #: Default per-thread stack size (4 pages, Unikraft's default order).
+    STACK_SIZE = 4 * 4096
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.run_queue: deque[Thread] = deque()
+        self.threads: dict[int, Thread] = {}
+        self._next_tid = 1
+        self.total_switches = 0
+        #: Pending timers: (deadline_ns, sequence, waitq) min-heap.
+        self._timers: list[tuple[float, int, WaitQueue]] = []
+        self._timer_seq = 0
+        #: One-way cost of crossing into/out of the scheduler's
+        #: protection domain on a context switch.  Set by the builder
+        #: from the isolation backend: under MPK, every switch enters
+        #: the scheduler compartment (it holds the PKRU of suspended
+        #: threads) and exits into the next thread's domain — two
+        #: crossings whenever the thread lives in another compartment.
+        self.domain_crossing_ns: float = 0.0
+
+    # --- thread management (host-side + exported) -------------------------------
+
+    def spawn(
+        self,
+        name: str,
+        body_factory: Callable[[], Generator],
+        home_compartment,
+    ) -> Thread:
+        """Create a thread whose body runs in ``home_compartment``.
+
+        Host-side API used by the image/boot code; the exported
+        ``thread_add`` registers an already-built thread (the paper's
+        scheduler API surface).
+        """
+        stack_base = home_compartment.alloc_stack(self.STACK_SIZE)
+        context = home_compartment.make_context(label=f"thread:{name}")
+        thread = Thread(
+            tid=self._next_tid,
+            name=name,
+            body=body_factory(),
+            home_context=context,
+            stack_base=stack_base,
+            stack_size=self.STACK_SIZE,
+            home_compartment=home_compartment,
+        )
+        self._next_tid += 1
+        self.thread_add(thread)
+        return thread
+
+    @export
+    def thread_add(self, thread: Thread) -> int:
+        """Register a thread and make it runnable; returns its tid."""
+        self._check_add(thread)
+        self.threads[thread.tid] = thread
+        thread.state = ThreadState.READY
+        self.run_queue.append(thread)
+        return thread.tid
+
+    def _check_add(self, thread: Thread) -> None:
+        """Validation hook; the verified scheduler adds contracts here."""
+        if thread.tid in self.threads:
+            raise GateError(f"thread {thread.tid} already added")
+
+    @export
+    def thread_rm(self, tid: int) -> None:
+        """Remove a thread from scheduling."""
+        thread = self.threads.pop(tid, None)
+        if thread is None:
+            raise GateError(f"unknown thread {tid}")
+        if thread in self.run_queue:
+            self.run_queue.remove(thread)
+        thread.state = ThreadState.DONE
+
+    # --- wait-queue operations ---------------------------------------------------
+
+    @export
+    def wake_one(self, waitq: WaitQueue) -> bool:
+        """Move the longest-waiting thread to the run queue."""
+        self.charge(self.machine.cost.waitq_op_ns)
+        thread = waitq.pop()
+        if thread is None:
+            return False
+        thread.state = ThreadState.READY
+        thread.waitq = None
+        self.run_queue.append(thread)
+        return True
+
+    @export
+    def wake_all(self, waitq: WaitQueue) -> int:
+        """Wake every thread parked on ``waitq``; returns the count."""
+        woken = 0
+        while self.wake_one(waitq):
+            woken += 1
+        return woken
+
+    @export
+    def block_notify(self, waitq: WaitQueue) -> None:
+        """Account for the current thread preparing to block.
+
+        The actual parking happens when the run loop consumes the
+        :class:`Block` directive; this call is the crossing into the
+        scheduler that a real implementation performs (and where the
+        verified scheduler re-checks its preconditions).
+        """
+        self.charge(self.machine.cost.waitq_op_ns)
+
+    @export
+    def yield_(self) -> None:
+        """Accounting hook for an explicit yield crossing (no-op here)."""
+
+    @export_blocking
+    def thread_join(self, tid: int):
+        """Block until the named thread finishes.
+
+        Returns immediately when the thread is unknown (already
+        finished and reaped) or already done.
+        """
+        thread = self.threads.get(tid)
+        if thread is None:
+            return True
+        while not thread.done:
+            self.charge(self.machine.cost.waitq_op_ns)
+            yield Block(thread.exit_waitq)
+        return True
+
+    # --- timers -----------------------------------------------------------------
+
+    @export
+    def timer_register(self, deadline_ns: float, waitq: WaitQueue) -> None:
+        """Arm a one-shot timer waking ``waitq`` at ``deadline_ns``."""
+        self.charge(self.machine.cost.waitq_op_ns)
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (deadline_ns, self._timer_seq, waitq))
+
+    def _fire_due_timers(self) -> int:
+        """Wake every timer whose deadline has passed."""
+        fired = 0
+        now = self.machine.cpu.clock_ns
+        while self._timers and self._timers[0][0] <= now:
+            _, _, waitq = heapq.heappop(self._timers)
+            self.wake_all(waitq)
+            fired += 1
+        return fired
+
+    @property
+    def pending_timers(self) -> int:
+        """Number of armed timers."""
+        return len(self._timers)
+
+    # --- run loop -------------------------------------------------------------
+
+    def _switch_cost(self, thread: Thread) -> None:
+        """Charge one context switch (overridden by the verified sched)."""
+        self.charge(self.machine.cost.ctx_switch_ns)
+        if (
+            self.domain_crossing_ns
+            and thread.home_compartment is not None
+            and thread.home_compartment is not self.compartment
+        ):
+            self.charge(2 * self.domain_crossing_ns)
+            self.machine.cpu.bump("sched_domain_crossings", 2)
+
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        max_switches: int | None = None,
+    ) -> int:
+        """Run threads until idle / ``until()`` / ``max_switches``.
+
+        Must be called with the scheduler compartment's context active
+        (the image's ``run`` does this).  Returns the number of context
+        switches performed.  Threads left parked on wait queues when
+        the loop stops remain BLOCKED — the caller decides whether that
+        is a deadlock or a daemon thread.
+        """
+        cpu = self.machine.cpu
+        switches = 0
+        while self.run_queue or self._timers:
+            if until is not None and until():
+                break
+            if max_switches is not None and switches >= max_switches:
+                break
+            self._fire_due_timers()
+            if not self.run_queue:
+                if not self._timers:
+                    break
+                # Idle: nothing runnable until the next timer — advance
+                # the clock to its deadline (the tickless-idle path).
+                deadline = self._timers[0][0]
+                if deadline > cpu.clock_ns:
+                    cpu.charge(deadline - cpu.clock_ns)
+                    if cpu.clock_ns < deadline:
+                        raise GateError(
+                            "cannot idle-advance the clock while CPU "
+                            "charging is disabled"
+                        )
+                continue
+            thread = self.run_queue.popleft()
+            self._switch_cost(thread)
+            switches += 1
+            self.total_switches += 1
+            thread.switches += 1
+            thread.state = ThreadState.RUNNING
+            cpu.bump("ctx_switches")
+            saved = cpu.swap_context_stack(thread.ctx_stack)
+            try:
+                directive = next(thread.body)
+            except StopIteration:
+                directive = None
+                thread.state = ThreadState.DONE
+                self.threads.pop(thread.tid, None)
+                self.wake_all(thread.exit_waitq)
+            finally:
+                thread.ctx_stack = cpu.swap_context_stack(saved)
+            if thread.state is ThreadState.DONE:
+                continue
+            if isinstance(directive, Yield):
+                thread.state = ThreadState.READY
+                self.run_queue.append(thread)
+            elif isinstance(directive, Block):
+                thread.state = ThreadState.BLOCKED
+                thread.waitq = directive.waitq
+                directive.waitq.park(thread)
+            else:
+                raise GateError(
+                    f"thread {thread.name} yielded invalid directive "
+                    f"{directive!r}"
+                )
+        return switches
+
+    # --- teardown ---------------------------------------------------------------
+
+    def kill_thread(self, thread: Thread) -> None:
+        """Destroy a thread, unwinding its body inside its own contexts.
+
+        Closing the generator raises ``GeneratorExit`` at its suspension
+        point; running that unwind with the thread's saved
+        protection-context stack installed keeps teardown
+        domain-correct (no gate pops against a foreign stack).
+        """
+        if thread.done:
+            return
+        cpu = self.machine.cpu
+        saved = cpu.swap_context_stack(thread.ctx_stack)
+        try:
+            thread.body.close()
+        finally:
+            thread.ctx_stack = cpu.swap_context_stack(saved)
+        if thread.waitq is not None and thread in thread.waitq:
+            thread.waitq._threads.remove(thread)
+        if thread in self.run_queue:
+            self.run_queue.remove(thread)
+        thread.state = ThreadState.DONE
+        self.threads.pop(thread.tid, None)
+        self.wake_all(thread.exit_waitq)
+
+    def kill_all(self) -> int:
+        """Destroy every remaining thread; returns how many."""
+        killed = 0
+        for thread in list(self.threads.values()):
+            self.kill_thread(thread)
+            killed += 1
+        return killed
+
+    # --- introspection ----------------------------------------------------------
+
+    @property
+    def runnable(self) -> int:
+        """Number of threads currently in the run queue."""
+        return len(self.run_queue)
+
+    @property
+    def blocked_threads(self) -> list[Thread]:
+        """Threads currently parked on wait queues."""
+        return [
+            thread
+            for thread in self.threads.values()
+            if thread.state is ThreadState.BLOCKED
+        ]

@@ -1,0 +1,5 @@
+"""Time micro-library (uktime analogue)."""
+
+from repro.libos.time.uktime import TimeLibrary
+
+__all__ = ["TimeLibrary"]

@@ -1,0 +1,69 @@
+"""The ``time`` micro-library: clock reads and sleeping.
+
+A thin layer over the simulated monotonic clock and the scheduler's
+one-shot timers.  Sleeping is tickless: when every thread is asleep,
+the run loop advances the clock directly to the next deadline, so a
+sleep costs no simulated busy-waiting.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.libos.library import MicroLibrary, export, export_blocking
+from repro.libos.sched.base import Block, WaitQueue
+
+
+class TimeLibrary(MicroLibrary):
+    """Monotonic clock + sleep, backed by scheduler timers."""
+
+    NAME = "time"
+    SPEC = """
+    [Memory access] Read(Own,Shared); Write(Own,Shared)
+    [Call] sched::timer_register
+    [API] now_ns(); sleep_ns(duration)
+    [Requires] *(Read,Own), *(Write,Shared), *(Call, now_ns), \
+*(Call, sleep_ns)
+    """
+    TRUE_BEHAVIOR = {
+        "writes": ["Own", "Shared"],
+        "reads": ["Own", "Shared"],
+        "calls": ["sched::timer_register"],
+    }
+    API_CONTRACTS = {
+        "sleep_ns": [
+            (lambda args: args[0] >= 0, "duration must be non-negative"),
+        ],
+    }
+
+    #: Cost of one clock read (rdtsc-class).
+    CLOCK_READ_NS = 2.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sched = None
+        self.sleeps = 0
+
+    def on_boot(self) -> None:
+        self._sched = self.stub("sched")
+
+    @export
+    def now_ns(self) -> float:
+        """Current monotonic time in simulated nanoseconds."""
+        self.charge(self.CLOCK_READ_NS)
+        return self.machine.cpu.clock_ns
+
+    @export_blocking
+    def sleep_ns(self, duration: float) -> Generator:
+        """Block the calling thread for at least ``duration`` ns."""
+        if duration < 0:
+            raise ValueError("sleep duration must be non-negative")
+        self.charge(self.CLOCK_READ_NS)
+        if duration == 0:
+            return None
+        waitq = WaitQueue(f"sleep:{self.sleeps}")
+        self.sleeps += 1
+        deadline = self.machine.cpu.clock_ns + duration
+        self._sched.call("timer_register", deadline, waitq)
+        yield Block(waitq)
+        return None

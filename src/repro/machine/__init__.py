@@ -1,0 +1,74 @@
+"""Simulated hardware substrate for the FlexOS reproduction.
+
+The paper evaluates FlexOS on real x86 hardware with Intel MPK and on
+Xen/KVM virtual machines.  This package substitutes a deterministic,
+byte-accurate simulated machine:
+
+- :mod:`repro.machine.memory` — physical memory and frame allocation.
+- :mod:`repro.machine.address_space` — page tables with permissions and
+  protection keys.
+- :mod:`repro.machine.mpk` — Memory Protection Keys semantics (PKRU).
+- :mod:`repro.machine.ept` — VM/EPT-style disjoint address spaces with a
+  shared region mapped at identical virtual addresses.
+- :mod:`repro.machine.cpu` — the execution context stack and the
+  simulated clock.
+- :mod:`repro.machine.cycles` — the cost model that turns operations into
+  simulated nanoseconds.
+- :mod:`repro.machine.machine` — the facade tying it all together; every
+  micro-library load/store goes through :class:`Machine` so protection
+  violations fault for real.
+"""
+
+from repro.machine.address_space import AddressSpace, PageEntry, Permissions
+from repro.machine.cpu import CPU, Context, DomainProfile
+from repro.machine.cycles import CostModel
+from repro.machine.ept import VMDomain
+from repro.machine.faults import (
+    ContractViolation,
+    GateError,
+    MachineError,
+    OutOfMemoryError,
+    PageFault,
+    ProtectionFault,
+    SHViolation,
+)
+from repro.machine.machine import Machine
+from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+from repro.machine.mpk import (
+    MPK_NUM_KEYS,
+    PKEY_DEFAULT,
+    pkru_all_access,
+    pkru_deny_all,
+    pkru_for_keys,
+    pkru_readable,
+    pkru_writable,
+)
+
+__all__ = [
+    "AddressSpace",
+    "CPU",
+    "Context",
+    "ContractViolation",
+    "CostModel",
+    "DomainProfile",
+    "GateError",
+    "Machine",
+    "MachineError",
+    "MPK_NUM_KEYS",
+    "OutOfMemoryError",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PageEntry",
+    "PageFault",
+    "Permissions",
+    "PhysicalMemory",
+    "PKEY_DEFAULT",
+    "ProtectionFault",
+    "SHViolation",
+    "VMDomain",
+    "pkru_all_access",
+    "pkru_deny_all",
+    "pkru_for_keys",
+    "pkru_readable",
+    "pkru_writable",
+]

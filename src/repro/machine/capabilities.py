@@ -1,0 +1,112 @@
+"""Capability-based memory access control (CHERI-style).
+
+The paper motivates FlexOS partly by hardware heterogeneity: "certain
+primitives are hardware-dependent (e.g. Intel Memory Protection Keys,
+CHERI)".  This module models the CHERI-flavoured alternative: instead
+of tagging *pages* with keys checked against a per-thread register,
+code can only dereference *capabilities* — bounded ranges it was
+granted.  A compartment's base capabilities cover the memory it owns
+plus the shared area; gates **delegate** ephemeral capabilities for
+pointer arguments at call time and revoke them on return (by popping
+the execution context that carried them).
+
+The practical difference from MPK this exposes: capability delegation
+lets a callee touch exactly the caller buffer it was handed — private
+memory included — so cross-domain I/O does not have to round-trip
+through a globally shared heap.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.machine.faults import ProtectionFault
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+
+#: Capability permission tags.
+CAP_READ = "r"
+CAP_WRITE = "w"
+
+
+class CapabilitySet:
+    """The capabilities an execution context holds.
+
+    ``base_ranges`` is a *live* list reference (typically the owning
+    compartment's ``owned_ranges``), so regions mapped after the set
+    was created are still covered — exactly like a compartment-wide
+    default data capability.  ``grants`` are the ephemeral, bounded
+    delegations installed by a gate for one call.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base_ranges: list,
+        shared_ranges: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        self.name = name
+        self.base_ranges = base_ranges
+        self.shared_ranges = list(shared_ranges)
+        #: Ephemeral delegations: (start, end, writable).
+        self.grants: list[tuple[int, int, bool]] = []
+
+    # --- delegation ---------------------------------------------------------
+
+    def grant(self, start: int, size: int, writable: bool = True) -> None:
+        """Install one bounded delegation (gate entry)."""
+        if size <= 0:
+            return
+        self.grants.append((start, start + size, writable))
+
+    def derive(self) -> "CapabilitySet":
+        """A copy sharing base ranges but with its own grant list.
+
+        Gates derive a fresh set per crossing so that concurrent calls
+        into the same compartment (different threads) cannot see each
+        other's delegations.
+        """
+        derived = CapabilitySet(self.name, self.base_ranges, self.shared_ranges)
+        return derived
+
+    # --- checking ---------------------------------------------------------------
+
+    def _covered(self, start: int, end: int, write: bool) -> bool:
+        for base_start, base_end in self.base_ranges:
+            if base_start <= start and end <= base_end:
+                return True
+        for shared_start, shared_end in self.shared_ranges:
+            if shared_start <= start and end <= shared_end:
+                return True
+        for grant_start, grant_end, writable in self.grants:
+            if grant_start <= start and end <= grant_end:
+                if write and not writable:
+                    continue
+                return True
+        return False
+
+    def check(self, vaddr: int, size: int, kind: str) -> None:
+        """Raise :class:`ProtectionFault` unless the access is capable."""
+        if not self._covered(vaddr, vaddr + size, kind == "store"):
+            raise ProtectionFault(
+                vaddr,
+                "write" if kind == "store" else "read",
+                None,
+                f"no capability in domain {self.name}",
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CapabilitySet({self.name!r}, base={len(self.base_ranges)}, "
+            f"grants={len(self.grants)})"
+        )
+
+
+def base_capabilities(
+    compartment: "Compartment", shared_ranges: Iterable[tuple[int, int]]
+) -> CapabilitySet:
+    """The compartment-wide default capability set."""
+    return CapabilitySet(
+        compartment.name, compartment.owned_ranges, shared_ranges
+    )

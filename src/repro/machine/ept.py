@@ -1,0 +1,66 @@
+"""VM/EPT-style isolation: disjoint address spaces with a shared window.
+
+The paper's VM backend generates one VM image per compartment; each VM
+has its own scheduler and allocator, and a shared memory area is mapped
+at an *identical virtual address* in every VM so pointers into shared
+structures remain valid.  :class:`VMDomain` models one such VM.
+Isolation is structural: a VM simply has no mapping for another VM's
+private memory, so any stray access page-faults.
+"""
+
+from __future__ import annotations
+
+from repro.machine.address_space import AddressSpace, Permissions
+from repro.machine.memory import PhysicalMemory, page_align_up
+
+
+class VMDomain:
+    """One virtual machine: a private address space plus shared windows."""
+
+    def __init__(self, vm_id: int, name: str, phys: PhysicalMemory) -> None:
+        self.vm_id = vm_id
+        self.name = name
+        self.space = AddressSpace(f"vm:{name}", phys)
+        #: (vaddr, size) of every shared window mapped into this VM.
+        self.shared_windows: list[tuple[int, int]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VMDomain({self.vm_id}, {self.name!r})"
+
+
+class SharedWindowAllocator:
+    """Allocates identical-VA shared windows across a set of VMs.
+
+    Virtual addresses for shared windows come from a dedicated range
+    above every VM's private range so a fixed mapping never collides
+    with private reservations.
+    """
+
+    #: Start of the cross-VM shared virtual range.
+    SHARED_BASE = 0x9000_0000
+    #: End of the cross-VM shared virtual range.
+    SHARED_LIMIT = 0xA000_0000
+
+    def __init__(self, phys: PhysicalMemory) -> None:
+        self._phys = phys
+        self._next_va = self.SHARED_BASE
+
+    def map_shared(
+        self,
+        domains: list[VMDomain],
+        size: int,
+        perms: Permissions = Permissions.RW,
+    ) -> int:
+        """Map one new shared window into every domain; returns its VA."""
+        if not domains:
+            raise ValueError("at least one domain required")
+        size = page_align_up(size)
+        vaddr = self._next_va
+        if vaddr + size > self.SHARED_LIMIT:
+            raise ValueError("shared window range exhausted")
+        self._next_va = vaddr + size
+        frames = self._phys.alloc_frames(size // 4096)
+        for domain in domains:
+            domain.space.map_frames(vaddr, frames, perms)
+            domain.shared_windows.append((vaddr, size))
+        return vaddr

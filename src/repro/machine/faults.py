@@ -1,0 +1,109 @@
+"""Fault and error types raised by the simulated machine.
+
+The hierarchy mirrors how a real deployment distinguishes failure
+sources: hardware faults (page faults, protection-key violations),
+software-hardening detections (ASAN/CFI style aborts), contract
+violations at verified-component boundaries, and build/gate wiring
+errors.
+"""
+
+from __future__ import annotations
+
+
+class MachineError(Exception):
+    """Base class for every error raised by the simulated machine."""
+
+
+class OutOfMemoryError(MachineError):
+    """Physical frame or virtual address space exhaustion."""
+
+
+class PageFault(MachineError):
+    """Access to an unmapped page or one lacking the needed permission.
+
+    Attributes:
+        vaddr: faulting virtual address.
+        access: "read", "write" or "exec".
+    """
+
+    def __init__(self, vaddr: int, access: str, detail: str = "") -> None:
+        self.vaddr = vaddr
+        self.access = access
+        message = f"page fault: {access} at {vaddr:#x}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class ProtectionFault(MachineError):
+    """A protection-domain violation (MPK pkey check or EPT boundary).
+
+    Raised when the current execution context attempts an access its
+    PKRU register (or VM mapping) does not permit.  This is the
+    hardware-isolation analogue of a #PF with PK bit set.
+
+    Attributes:
+        vaddr: faulting virtual address.
+        access: "read" or "write".
+        pkey: protection key of the target page (``None`` for EPT
+            boundary violations, where the page simply is not mapped in
+            the accessor's VM).
+    """
+
+    def __init__(
+        self, vaddr: int, access: str, pkey: int | None = None, detail: str = ""
+    ) -> None:
+        self.vaddr = vaddr
+        self.access = access
+        self.pkey = pkey
+        key = f" pkey={pkey}" if pkey is not None else ""
+        message = f"protection fault: {access} at {vaddr:#x}{key}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class SHViolation(MachineError):
+    """A software-hardening runtime detected a memory-safety violation.
+
+    Raised by ASAN redzone checks, stack-protector canary checks, CFI
+    call-target checks, DFI write-set checks, and UBSAN checks.  The
+    ``technique`` attribute names the detector.
+    """
+
+    def __init__(self, technique: str, detail: str) -> None:
+        self.technique = technique
+        super().__init__(f"{technique}: {detail}")
+
+
+class ContractViolation(MachineError):
+    """A pre- or post-condition of a verified component failed at runtime.
+
+    The paper's Dafny scheduler has statically proven contracts; when it
+    is embedded alongside untrusted code, boundary glue re-checks the
+    pre-conditions at runtime.  This exception is that check firing.
+    """
+
+    def __init__(self, component: str, condition: str) -> None:
+        self.component = component
+        self.condition = condition
+        super().__init__(f"contract violation in {component}: {condition}")
+
+
+class GateError(MachineError):
+    """Gate wiring or invocation error (unknown export, bad channel)."""
+
+
+class BoundaryViolation(MachineError):
+    """An API boundary guard rejected a cross-compartment call.
+
+    Raised by the auto-generated trust-boundary wrappers (paper §5,
+    "isolation alone is not enough"): a precondition on the callee's
+    API failed, or a pointer argument referenced memory the caller may
+    not legitimately share (a confused-deputy attempt).
+    """
+
+    def __init__(self, callee: str, fn: str, detail: str) -> None:
+        self.callee = callee
+        self.fn = fn
+        super().__init__(f"boundary check failed for {callee}.{fn}: {detail}")

@@ -1,0 +1,175 @@
+"""The machine facade: every simulated load/store goes through here.
+
+Access path for a load/store (mirrors the hardware + instrumentation
+pipeline of the paper's testbed):
+
+1. charge instrumented cost (cost model × the current domain profile's
+   load/store factor);
+2. run the domain's software-hardening monitors (ASAN shadow checks,
+   DFI write-set checks) — these may raise :class:`SHViolation`;
+3. translate through the current context's address space — unmapped
+   pages raise :class:`PageFault` (this is the whole of EPT isolation:
+   a foreign VM's private pages simply are not mapped);
+4. check page permissions;
+5. check the page's protection key against the context's PKRU — a
+   mismatch raises :class:`ProtectionFault` (MPK isolation);
+6. move the bytes.
+
+Device DMA (:meth:`Machine.dma_read` / :meth:`Machine.dma_write`)
+bypasses PKRU — as on real hardware, where MPK does not constrain
+devices — and never charges the CPU clock, which lets the workload
+harness play the role of the external traffic generator.
+"""
+
+from __future__ import annotations
+
+from repro.machine.address_space import AddressSpace, Permissions
+from repro.machine.cpu import CPU, Context
+from repro.machine.cycles import CostModel
+from repro.machine.ept import SharedWindowAllocator, VMDomain
+from repro.machine.faults import PageFault, ProtectionFault
+from repro.machine.memory import PhysicalMemory
+from repro.machine.mpk import pkru_readable, pkru_writable
+
+
+class Machine:
+    """A simulated host: physical memory, one CPU, address spaces."""
+
+    def __init__(
+        self,
+        cost: CostModel | None = None,
+        phys_bytes: int = 64 * 1024 * 1024,
+    ) -> None:
+        self.phys = PhysicalMemory(phys_bytes)
+        self.cpu = CPU(cost)
+        self.spaces: dict[str, AddressSpace] = {}
+        self.vm_domains: dict[str, VMDomain] = {}
+        self._shared_windows = SharedWindowAllocator(self.phys)
+
+    @property
+    def cost(self) -> CostModel:
+        """The active cost model."""
+        return self.cpu.cost
+
+    # --- topology ---------------------------------------------------------
+
+    def new_address_space(self, name: str) -> AddressSpace:
+        """Create a named address space (MPK backend uses exactly one)."""
+        if name in self.spaces:
+            raise ValueError(f"address space {name!r} already exists")
+        space = AddressSpace(name, self.phys)
+        self.spaces[name] = space
+        return space
+
+    def new_vm_domain(self, name: str) -> VMDomain:
+        """Create a VM domain (EPT backend: one per compartment)."""
+        if name in self.vm_domains:
+            raise ValueError(f"VM domain {name!r} already exists")
+        domain = VMDomain(len(self.vm_domains), name, self.phys)
+        self.vm_domains[name] = domain
+        self.spaces[domain.space.name] = domain.space
+        return domain
+
+    def map_shared_window(
+        self,
+        domains: list[VMDomain],
+        size: int,
+        perms: Permissions = Permissions.RW,
+    ) -> int:
+        """Map a shared window at identical VAs into all given VMs."""
+        return self._shared_windows.map_shared(domains, size, perms)
+
+    # --- checked access -----------------------------------------------------
+
+    def load(self, vaddr: int, size: int) -> bytes:
+        """Checked read of ``size`` bytes by the current context."""
+        cpu = self.cpu
+        context = cpu.current
+        profile = context.profile
+        cpu.charge(
+            (cpu.cost.mem_op_ns + size * cpu.cost.mem_byte_ns) * profile.load_factor
+        )
+        cpu.bump("loads")
+        cpu.bump("load_bytes", size)
+        for monitor in profile.monitors:
+            monitor(self, "load", vaddr, size)
+        if context.capabilities is not None:
+            cpu.charge(cpu.cost.cheri_check_ns)
+            context.capabilities.check(vaddr, size, "load")
+        chunks = []
+        for chunk_va, chunk_size, entry in context.address_space.iter_range(
+            vaddr, size
+        ):
+            if not entry.perms & Permissions.READ:
+                raise PageFault(chunk_va, "read", "page not readable")
+            if context.capabilities is None and not pkru_readable(
+                context.pkru, entry.pkey
+            ):
+                raise ProtectionFault(chunk_va, "read", entry.pkey, context.label)
+            paddr = (entry.frame << 12) | (chunk_va & 0xFFF)
+            chunks.append(self.phys.read(paddr, chunk_size))
+        return b"".join(chunks)
+
+    def store(self, vaddr: int, payload: bytes) -> None:
+        """Checked write of ``payload`` by the current context."""
+        cpu = self.cpu
+        context = cpu.current
+        profile = context.profile
+        size = len(payload)
+        cpu.charge(
+            (cpu.cost.mem_op_ns + size * cpu.cost.mem_byte_ns) * profile.store_factor
+        )
+        cpu.bump("stores")
+        cpu.bump("store_bytes", size)
+        for monitor in profile.monitors:
+            monitor(self, "store", vaddr, size)
+        if context.capabilities is not None:
+            cpu.charge(cpu.cost.cheri_check_ns)
+            context.capabilities.check(vaddr, size, "store")
+        offset = 0
+        for chunk_va, chunk_size, entry in context.address_space.iter_range(
+            vaddr, size
+        ):
+            if not entry.perms & Permissions.WRITE:
+                raise PageFault(chunk_va, "write", "page not writable")
+            if context.capabilities is None and not pkru_writable(
+                context.pkru, entry.pkey
+            ):
+                raise ProtectionFault(chunk_va, "write", entry.pkey, context.label)
+            paddr = (entry.frame << 12) | (chunk_va & 0xFFF)
+            self.phys.write(paddr, payload[offset : offset + chunk_size])
+            offset += chunk_size
+
+    def copy(self, dst: int, src: int, size: int) -> None:
+        """Checked memory-to-memory copy (one load + one store)."""
+        self.store(dst, self.load(src, size))
+
+    def fill(self, vaddr: int, value: int, size: int) -> None:
+        """Checked memset."""
+        self.store(vaddr, bytes([value & 0xFF]) * size)
+
+    # --- unchecked / device access ---------------------------------------------
+
+    def dma_write(self, space: AddressSpace, vaddr: int, payload: bytes) -> None:
+        """Device write: translates via ``space``, bypasses PKRU and cost."""
+        offset = 0
+        for chunk_va, chunk_size, entry in space.iter_range(vaddr, len(payload)):
+            paddr = (entry.frame << 12) | (chunk_va & 0xFFF)
+            self.phys.write(paddr, payload[offset : offset + chunk_size])
+            offset += chunk_size
+
+    def dma_read(self, space: AddressSpace, vaddr: int, size: int) -> bytes:
+        """Device read: translates via ``space``, bypasses PKRU and cost."""
+        chunks = []
+        for chunk_va, chunk_size, entry in space.iter_range(vaddr, size):
+            paddr = (entry.frame << 12) | (chunk_va & 0xFFF)
+            chunks.append(self.phys.read(paddr, chunk_size))
+        return b"".join(chunks)
+
+    # --- context helpers --------------------------------------------------------
+
+    def boot_context(self, space: AddressSpace, label: str = "boot") -> Context:
+        """Push and return an all-access context on ``space``."""
+        context = Context(address_space=space, label=label)
+        self.cpu.push_context(context)
+        return context

@@ -1,0 +1,79 @@
+"""Physical memory: a flat byte store carved into 4 KiB frames."""
+
+from __future__ import annotations
+
+from repro.machine.faults import OutOfMemoryError
+
+#: Page/frame size in bytes (x86-64 base pages).
+PAGE_SIZE = 4096
+#: log2(PAGE_SIZE).
+PAGE_SHIFT = 12
+
+
+def page_align_up(value: int) -> int:
+    """Round ``value`` up to the next page boundary."""
+    return (value + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def page_align_down(value: int) -> int:
+    """Round ``value`` down to a page boundary."""
+    return value & ~(PAGE_SIZE - 1)
+
+
+class PhysicalMemory:
+    """Flat simulated physical memory with a frame allocator.
+
+    Frames are handed out by a bump allocator with a free list so that
+    unmapped regions can be recycled.  All byte content lives in one
+    ``bytearray`` indexed by physical address.
+    """
+
+    def __init__(self, size_bytes: int = 64 * 1024 * 1024) -> None:
+        if size_bytes <= 0 or size_bytes % PAGE_SIZE != 0:
+            raise ValueError("physical memory size must be a positive page multiple")
+        self.size = size_bytes
+        self.data = bytearray(size_bytes)
+        self._next_frame = 0
+        self._free_frames: list[int] = []
+        self.num_frames = size_bytes >> PAGE_SHIFT
+
+    def alloc_frame(self) -> int:
+        """Allocate one frame; returns the frame number."""
+        if self._free_frames:
+            return self._free_frames.pop()
+        if self._next_frame >= self.num_frames:
+            raise OutOfMemoryError("physical memory exhausted")
+        frame = self._next_frame
+        self._next_frame += 1
+        return frame
+
+    def alloc_frames(self, count: int) -> list[int]:
+        """Allocate ``count`` frames (not necessarily contiguous)."""
+        if count < 0:
+            raise ValueError("frame count must be non-negative")
+        return [self.alloc_frame() for _ in range(count)]
+
+    def free_frame(self, frame: int) -> None:
+        """Return a frame to the allocator and scrub its contents."""
+        if not 0 <= frame < self._next_frame:
+            raise ValueError(f"invalid frame {frame}")
+        base = frame << PAGE_SHIFT
+        self.data[base : base + PAGE_SIZE] = bytes(PAGE_SIZE)
+        self._free_frames.append(frame)
+
+    def read(self, paddr: int, size: int) -> bytes:
+        """Read ``size`` bytes at physical address ``paddr``."""
+        if paddr < 0 or paddr + size > self.size:
+            raise ValueError(f"physical read out of range: {paddr:#x}+{size}")
+        return bytes(self.data[paddr : paddr + size])
+
+    def write(self, paddr: int, payload: bytes) -> None:
+        """Write ``payload`` at physical address ``paddr``."""
+        if paddr < 0 or paddr + len(payload) > self.size:
+            raise ValueError(f"physical write out of range: {paddr:#x}+{len(payload)}")
+        self.data[paddr : paddr + len(payload)] = payload
+
+    @property
+    def frames_allocated(self) -> int:
+        """Number of frames currently handed out."""
+        return self._next_frame - len(self._free_frames)

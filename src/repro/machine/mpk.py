@@ -1,0 +1,84 @@
+"""Intel Memory Protection Keys (MPK) semantics.
+
+MPK tags each page with one of 16 protection keys; the per-thread PKRU
+register holds, for each key, an Access-Disable (AD) and Write-Disable
+(WD) bit.  Loads fault if AD is set for the page's key; stores fault if
+AD or WD is set.  Because WRPKRU is unprivileged, any compartment could
+rewrite PKRU — FlexOS gates are the only code that legitimately does,
+and the reproduction enforces that via :class:`repro.machine.cpu.CPU`
+context discipline (see the paper's discussion of static analysis /
+runtime checks / page-table sealing to police rogue WRPKRU).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Number of protection keys (x86 MPK provides 16).
+MPK_NUM_KEYS = 16
+
+#: The default key assigned to pages that were never tagged.
+PKEY_DEFAULT = 0
+
+_AD = 0b01  # access disable
+_WD = 0b10  # write disable
+
+
+def _check_key(key: int) -> None:
+    if not 0 <= key < MPK_NUM_KEYS:
+        raise ValueError(f"invalid protection key {key}")
+
+
+def pkru_deny_all() -> int:
+    """A PKRU value denying access to every key (all AD bits set)."""
+    value = 0
+    for key in range(MPK_NUM_KEYS):
+        value |= _AD << (2 * key)
+    return value
+
+
+def pkru_all_access() -> int:
+    """A PKRU value allowing read+write on every key."""
+    return 0
+
+
+def pkru_for_keys(
+    writable: Iterable[int] = (), readable: Iterable[int] = ()
+) -> int:
+    """Build a PKRU granting RW on ``writable``, RO on ``readable``.
+
+    Every other key is fully access-disabled.  This is how gates
+    construct the register value for a target compartment: its own key
+    plus the shared-data key are writable; anything else is denied.
+    """
+    value = pkru_deny_all()
+    for key in readable:
+        _check_key(key)
+        value &= ~(_AD << (2 * key))
+        value |= _WD << (2 * key)
+    for key in writable:
+        _check_key(key)
+        value &= ~((_AD | _WD) << (2 * key))
+    return value
+
+
+def pkru_readable(pkru: int, key: int) -> bool:
+    """True if the PKRU value permits loads from pages tagged ``key``."""
+    _check_key(key)
+    return not (pkru >> (2 * key)) & _AD
+
+
+def pkru_writable(pkru: int, key: int) -> bool:
+    """True if the PKRU value permits stores to pages tagged ``key``."""
+    _check_key(key)
+    return not (pkru >> (2 * key)) & (_AD | _WD)
+
+
+def describe_pkru(pkru: int) -> str:
+    """Human-readable PKRU summary, e.g. ``"0:rw 1:r- 2:-- ..."``."""
+    parts = []
+    for key in range(MPK_NUM_KEYS):
+        read = "r" if pkru_readable(pkru, key) else "-"
+        write = "w" if pkru_writable(pkru, key) else "-"
+        parts.append(f"{key}:{read}{write}")
+    return " ".join(parts)

@@ -1,0 +1,12 @@
+"""Measurement utilities over the simulated clock."""
+
+from repro.perf.meter import (
+    BenchResult,
+    Meter,
+    gbps,
+    mbps,
+    mreq_per_s,
+    percentile,
+)
+
+__all__ = ["BenchResult", "Meter", "gbps", "mbps", "mreq_per_s", "percentile"]

@@ -1,0 +1,41 @@
+"""Software hardening (SH) runtimes.
+
+FlexOS can harden *individual compartments* instead of (or on top of)
+isolating them: "we can apply hardening mechanisms per compartment
+(not system-wide), allowing for fine-grained protection and
+performance trade-offs" (§3).  Each hardener here mutates a
+compartment's :class:`~repro.machine.cpu.DomainProfile` (instrumentation
+cost factors, access/call monitors) and, where the technique demands
+it, wraps the compartment's allocator — the reason FlexOS supports
+per-compartment allocators at all.
+
+Implemented techniques (the paper's list): ASAN/KASAN, CFI, DFI,
+UBSAN, stack protector, SafeStack.
+"""
+
+from repro.sh.asan import AsanAllocator, AsanHardener, ShadowMap
+from repro.sh.base import HardenContext, Hardener
+from repro.sh.cfi import CFIHardener
+from repro.sh.dfi import DFIHardener
+from repro.sh.mte import MteAllocator, MteHardener
+from repro.sh.registry import SH_TECHNIQUES, make_hardener
+from repro.sh.safestack import SafeStackHardener
+from repro.sh.stackprotector import StackProtectorHardener
+from repro.sh.ubsan import UBSanHardener
+
+__all__ = [
+    "AsanAllocator",
+    "AsanHardener",
+    "CFIHardener",
+    "DFIHardener",
+    "HardenContext",
+    "Hardener",
+    "MteAllocator",
+    "MteHardener",
+    "SafeStackHardener",
+    "SH_TECHNIQUES",
+    "ShadowMap",
+    "StackProtectorHardener",
+    "UBSanHardener",
+    "make_hardener",
+]

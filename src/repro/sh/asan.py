@@ -1,0 +1,187 @@
+"""Address sanitizer: redzones, quarantine, shadow checks.
+
+The KASAN-style hardener the paper enables with GCC.  Three effects,
+all of which matter to the evaluation:
+
+1. every load/store in the hardened compartment pays the shadow-check
+   cost (the dominant SH slowdown, Table 1);
+2. ``malloc``/``free`` are instrumented — redzones poisoned around
+   each block and freed blocks quarantined — which is why a *global*
+   allocator makes the whole system pay ASAN's allocator tax even when
+   only one compartment is hardened (Fig. 4);
+3. out-of-bounds and use-after-free accesses are actually *caught*
+   (:class:`~repro.machine.faults.SHViolation`), which the fault-
+   injection tests exercise.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.machine.faults import SHViolation
+from repro.sh.base import HardenContext, Hardener
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+    from repro.machine.machine import Machine
+
+
+class ShadowMap:
+    """Poisoned-byte tracking (the ASAN shadow memory).
+
+    Intervals are kept disjoint (redzones of distinct blocks never
+    overlap), so membership is a binary search.
+    """
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: dict[int, int] = {}
+
+    def poison(self, start: int, end: int) -> None:
+        """Mark [start, end) as poisoned."""
+        if end <= start:
+            return
+        bisect.insort(self._starts, start)
+        self._ends[start] = end
+
+    def unpoison(self, start: int) -> None:
+        """Remove the poisoned interval beginning at ``start``."""
+        end = self._ends.pop(start, None)
+        if end is None:
+            return
+        index = bisect.bisect_left(self._starts, start)
+        if index < len(self._starts) and self._starts[index] == start:
+            self._starts.pop(index)
+
+    def intersects(self, start: int, size: int) -> bool:
+        """True if [start, start+size) touches any poisoned byte."""
+        if not self._starts:
+            return False
+        end = start + size
+        index = bisect.bisect_right(self._starts, start)
+        if index > 0 and self._ends[self._starts[index - 1]] > start:
+            return True
+        return index < len(self._starts) and self._starts[index] < end
+
+    @property
+    def poisoned_intervals(self) -> int:
+        """Number of poisoned intervals (diagnostics)."""
+        return len(self._starts)
+
+
+class AsanAllocator:
+    """Wraps a heap allocator with redzones and a free quarantine."""
+
+    #: Redzone bytes placed before and after every allocation.
+    REDZONE = 16
+    #: Number of freed blocks kept poisoned before real release.
+    QUARANTINE = 16
+
+    def __init__(self, inner, machine: "Machine", shadow: ShadowMap) -> None:
+        self.inner = inner
+        self.machine = machine
+        self.shadow = shadow
+        self.name = f"asan({inner.name})"
+        #: user address → (base address, user size)
+        self._blocks: dict[int, tuple[int, int]] = {}
+        self._quarantine: deque[tuple[int, int]] = deque()
+
+    def malloc(self, size: int) -> int:
+        cost = self.machine.cost
+        self.machine.cpu.charge(cost.asan_alloc_extra_ns)
+        self.machine.cpu.bump("asan_mallocs")
+        base = self.inner.malloc(size + 2 * self.REDZONE)
+        user = base + self.REDZONE
+        self.shadow.poison(base, user)
+        self.shadow.poison(user + size, user + size + self.REDZONE)
+        self._blocks[user] = (base, size)
+        return user
+
+    def free(self, addr: int) -> None:
+        cost = self.machine.cost
+        self.machine.cpu.charge(cost.asan_free_extra_ns)
+        entry = self._blocks.pop(addr, None)
+        if entry is None:
+            raise SHViolation("asan", f"invalid or double free of {addr:#x}")
+        base, size = entry
+        # Poison the whole user range: any touch until the block leaves
+        # quarantine is a use-after-free.
+        self.shadow.poison(addr, addr + size)
+        self._quarantine.append((base, addr))
+        while len(self._quarantine) > self.QUARANTINE:
+            old_base, old_user = self._quarantine.popleft()
+            self.shadow.unpoison(old_base)
+            self.shadow.unpoison(old_user)  # user range poison
+            # The trailing redzone interval starts at old_user + its
+            # original size; recover it from the inner block size.
+            inner_size = self.inner.block_size(old_base)
+            user_size = inner_size - 2 * self.REDZONE
+            self.shadow.unpoison(old_user + user_size)
+            self.inner.free(old_base)
+
+    def flush_quarantine(self) -> None:
+        """Release everything still quarantined (teardown/tests)."""
+        while self._quarantine:
+            base, user = self._quarantine.popleft()
+            self.shadow.unpoison(base)
+            self.shadow.unpoison(user)
+            inner_size = self.inner.block_size(base)
+            self.shadow.unpoison(user + inner_size - 2 * self.REDZONE)
+            self.inner.free(base)
+
+    # --- passthrough introspection -------------------------------------------
+
+    def owns(self, addr: int) -> bool:
+        return addr in self._blocks
+
+    def block_size(self, addr: int) -> int:
+        return self._blocks[addr][1]
+
+    def contains(self, addr: int) -> bool:
+        return self.inner.contains(addr)
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self.inner.bytes_in_use
+
+    @property
+    def live_blocks(self) -> int:
+        return len(self._blocks)
+
+
+class AsanHardener(Hardener):
+    """Applies ASAN to a compartment: cost factors, monitor, allocator."""
+
+    NAME = "asan"
+    MITIGATES = frozenset({"heap-overflow", "use-after-free", "oob-read"})
+
+    def apply(self, compartment: "Compartment", context: HardenContext) -> None:
+        shadow = ShadowMap()
+        cost = context.machine.cost
+        profile = compartment.profile
+        profile.load_factor *= cost.asan_mem_factor
+        profile.store_factor *= cost.asan_mem_factor
+
+        def monitor(machine, kind: str, vaddr: int, size: int) -> None:
+            machine.cpu.charge(cost.asan_check_ns)
+            if shadow.intersects(vaddr, size):
+                raise SHViolation(
+                    "asan",
+                    f"{kind} of {size} bytes at {vaddr:#x} touches poisoned "
+                    f"memory (compartment {compartment.name})",
+                )
+
+        profile.monitors.append(monitor)
+
+        inner = compartment.allocator
+        if inner is None or isinstance(inner, AsanAllocator):
+            return
+        wrapped = AsanAllocator(inner, context.machine, shadow)
+        # Propagate: any compartment sharing this allocator instance
+        # (global-allocator policy) now pays the instrumented malloc —
+        # the paper's Fig. 4 effect.
+        for other in context.compartments:
+            if other.allocator is inner:
+                other.allocator = wrapped

@@ -1,0 +1,50 @@
+"""Hardener interface and application context."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+    from repro.machine.machine import Machine
+
+
+@dataclasses.dataclass
+class HardenContext:
+    """Everything a hardener may need while instrumenting a compartment.
+
+    ``compartments`` lists every compartment of the image so that
+    techniques which wrap a *shared* object (e.g. ASAN wrapping a
+    global allocator used by everyone) can propagate the wrapper to all
+    referents — the exact mechanism behind the paper's Fig. 4 global-
+    vs-local-allocator result.
+    """
+
+    machine: "Machine"
+    compartments: list["Compartment"]
+    #: (start, end) ranges of the shared heap(s), for write-set checks.
+    shared_ranges: list[tuple[int, int]] = dataclasses.field(default_factory=list)
+
+
+class Hardener:
+    """Base class: one software-hardening technique.
+
+    Subclasses override :meth:`apply` to instrument a compartment's
+    profile/allocator, and class attributes describe the technique for
+    the design-space explorer:
+
+    - :attr:`NAME` — registry key ("asan", "cfi", ...);
+    - :attr:`MITIGATES` — threat tags this technique addresses, used by
+      the metadata transformations in :mod:`repro.core.hardening`.
+    """
+
+    NAME = "abstract"
+    MITIGATES: frozenset[str] = frozenset()
+
+    def apply(self, compartment: "Compartment", context: HardenContext) -> None:
+        """Instrument ``compartment``; mutates its profile in place."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__}>"

@@ -1,0 +1,51 @@
+"""Control-flow integrity: cross-library call-target checking.
+
+Clang-style forward-edge CFI: every outgoing cross-library call from a
+hardened compartment is checked against the call graph a static
+analysis would compute (each library's ``TRUE_BEHAVIOR["calls"]``).  In
+metadata terms this is the paper's transformation ``Call(*) →
+Call(func. list)`` — see :mod:`repro.core.hardening` for the spec-level
+side of the same technique.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.machine.faults import SHViolation
+from repro.sh.base import HardenContext, Hardener
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+
+
+class CFIHardener(Hardener):
+    """Checks every outgoing call against the analysed call graph."""
+
+    NAME = "cfi"
+    MITIGATES = frozenset({"control-flow-hijack", "arbitrary-call"})
+
+    def apply(self, compartment: "Compartment", context: HardenContext) -> None:
+        cost = context.machine.cost
+        # Allowed edges: caller library name → set of "callee::fn", from
+        # each library's analysed behaviour.  A library without call
+        # facts cannot be narrowed: all its calls remain allowed.
+        allowed: dict[str, set[str] | None] = {}
+        for library in compartment.libraries:
+            calls = library.TRUE_BEHAVIOR.get("calls")
+            allowed[library.NAME] = set(calls) if calls is not None else None
+
+        def call_monitor(caller: str, callee: str, fn: str) -> None:
+            context.machine.cpu.charge(cost.cfi_check_ns)
+            context.machine.cpu.bump("cfi_checks")
+            targets = allowed.get(caller)
+            if targets is None:
+                return
+            if f"{callee}::{fn}" not in targets:
+                raise SHViolation(
+                    "cfi",
+                    f"{caller} called {callee}::{fn}, outside its analysed "
+                    f"call graph",
+                )
+
+        compartment.profile.call_monitors.append(call_monitor)

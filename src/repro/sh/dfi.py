@@ -1,0 +1,70 @@
+"""Data-flow integrity: write-set enforcement.
+
+WIT/Castro-style DFI: stores from a hardened compartment are checked
+against the memory the compartment may legitimately write — its own
+regions plus the shared area.  The metadata-level counterpart is the
+transformation ``Write(*) → Write(Own[,Shared])``
+(:mod:`repro.core.hardening`).
+
+The write-set is looked up against the compartment's mapped regions at
+check time, so regions allocated after hardening are covered too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.machine.faults import SHViolation
+from repro.sh.base import HardenContext, Hardener
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+
+
+class DFIHardener(Hardener):
+    """Checks every store against the compartment's legal write-set."""
+
+    NAME = "dfi"
+    MITIGATES = frozenset({"wild-write", "data-flow-hijack"})
+
+    def apply(self, compartment: "Compartment", context: HardenContext) -> None:
+        cost = context.machine.cost
+        shared_ranges = list(context.shared_ranges)
+        profile = compartment.profile
+        profile.store_factor *= cost.dfi_store_factor
+
+        def in_shared(vaddr: int) -> bool:
+            return any(start <= vaddr < end for start, end in shared_ranges)
+
+        def monitor(machine, kind: str, vaddr: int, size: int) -> None:
+            if kind != "store":
+                return
+            machine.cpu.bump("dfi_checks")
+            if in_shared(vaddr):
+                return
+            # Own memory: a region the compartment itself mapped
+            # (tracked explicitly so the check also works without MPK),
+            # or — with MPK — a page carrying one of its keys.
+            if compartment.owns_address(vaddr):
+                return
+            space = compartment.address_space
+            if (
+                compartment.pkey is not None
+                and space is not None
+                and space.is_mapped(vaddr)
+            ):
+                entry = space.entry(vaddr)
+                if entry.pkey == compartment.pkey:
+                    return
+                if (
+                    compartment.stack_pkey is not None
+                    and entry.pkey == compartment.stack_pkey
+                ):
+                    return
+            raise SHViolation(
+                "dfi",
+                f"store at {vaddr:#x} outside the write-set of "
+                f"compartment {compartment.name}",
+            )
+
+        profile.monitors.append(monitor)

@@ -1,0 +1,36 @@
+"""Software-hardening registry: technique name → hardener class."""
+
+from __future__ import annotations
+
+from repro.machine.faults import GateError
+from repro.sh.asan import AsanHardener
+from repro.sh.base import Hardener
+from repro.sh.cfi import CFIHardener
+from repro.sh.dfi import DFIHardener
+from repro.sh.mte import MteHardener
+from repro.sh.safestack import SafeStackHardener
+from repro.sh.stackprotector import StackProtectorHardener
+from repro.sh.ubsan import UBSanHardener
+
+#: All selectable techniques by configuration name.  "kasan" is the
+#: kernel flavour of ASAN the paper enables under GCC — same runtime.
+SH_TECHNIQUES: dict[str, type[Hardener]] = {
+    AsanHardener.NAME: AsanHardener,
+    "kasan": AsanHardener,
+    CFIHardener.NAME: CFIHardener,
+    DFIHardener.NAME: DFIHardener,
+    MteHardener.NAME: MteHardener,
+    UBSanHardener.NAME: UBSanHardener,
+    StackProtectorHardener.NAME: StackProtectorHardener,
+    SafeStackHardener.NAME: SafeStackHardener,
+}
+
+
+def make_hardener(name: str) -> Hardener:
+    """Instantiate the hardener registered under ``name``."""
+    hardener_cls = SH_TECHNIQUES.get(name)
+    if hardener_cls is None:
+        raise GateError(
+            f"unknown SH technique {name!r}; known: {sorted(SH_TECHNIQUES)}"
+        )
+    return hardener_cls()

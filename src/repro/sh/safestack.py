@@ -1,0 +1,26 @@
+"""Clang SafeStack: split safe/unsafe stacks (cost model).
+
+SafeStack moves address-taken locals to a separate unsafe stack so
+that return addresses cannot be corrupted via local-buffer overflows.
+The per-call bookkeeping cost is what end-to-end measurements see.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sh.base import HardenContext, Hardener
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+
+
+class SafeStackHardener(Hardener):
+    """Adds SafeStack's per-call cost to a compartment."""
+
+    NAME = "safestack"
+    MITIGATES = frozenset({"return-address-corruption"})
+
+    def apply(self, compartment: "Compartment", context: HardenContext) -> None:
+        cost = context.machine.cost
+        compartment.profile.call_extra_ns += cost.safestack_call_ns

@@ -1,0 +1,46 @@
+"""GCC "strong" stack protector: canaries on function frames.
+
+Charges the canary write+check per call made from the hardened
+compartment, and provides the canary primitives the fault-injection
+tests use to demonstrate smash detection on simulated stack frames.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING
+
+from repro.machine.faults import SHViolation
+from repro.sh.base import HardenContext, Hardener
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+    from repro.machine.machine import Machine
+
+#: The canary word written below each protected frame.
+CANARY = 0xDEADC0DE5AFE5AFE
+
+
+def place_canary(machine: "Machine", addr: int) -> None:
+    """Write the canary word at a frame boundary."""
+    machine.store(addr, struct.pack("<Q", CANARY))
+
+
+def verify_canary(machine: "Machine", addr: int) -> None:
+    """Check the canary; raises SHViolation when it was clobbered."""
+    raw = machine.load(addr, 8)
+    if struct.unpack("<Q", raw)[0] != CANARY:
+        raise SHViolation(
+            "stack-protector", f"stack smashing detected at {addr:#x}"
+        )
+
+
+class StackProtectorHardener(Hardener):
+    """Adds canary cost to every call from the compartment."""
+
+    NAME = "stackprotector"
+    MITIGATES = frozenset({"stack-smash"})
+
+    def apply(self, compartment: "Compartment", context: HardenContext) -> None:
+        cost = context.machine.cost
+        compartment.profile.call_extra_ns += cost.stackprot_call_ns

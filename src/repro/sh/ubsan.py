@@ -1,0 +1,29 @@
+"""Undefined-behaviour sanitizer (cost model only).
+
+UBSAN instruments arithmetic, shifts, and pointer adjustments.  In the
+simulation its detectable events don't occur mechanically (Python
+arithmetic is well-defined), so this hardener models the *cost* —
+a modest multiplier on memory-op-bound work — which is the component
+the paper's end-to-end numbers see.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sh.base import HardenContext, Hardener
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+
+
+class UBSanHardener(Hardener):
+    """Adds UBSAN's instrumentation overhead to a compartment."""
+
+    NAME = "ubsan"
+    MITIGATES = frozenset({"integer-overflow", "invalid-shift"})
+
+    def apply(self, compartment: "Compartment", context: HardenContext) -> None:
+        cost = context.machine.cost
+        compartment.profile.load_factor *= cost.ubsan_mem_factor
+        compartment.profile.store_factor *= cost.ubsan_mem_factor

@@ -1,0 +1,17 @@
+"""Command-line tooling around the FlexOS core.
+
+- ``python -m repro.tools.inspect LIB [LIB...]`` — print each selected
+  library's metadata, the conflict graph, the automatic compartment
+  layout, and the enumerated SH deployments.
+- ``python -m repro.tools.infer LIB [LIB...]`` — run a profiling
+  workload, print trace-inferred metadata and a declared-vs-observed
+  validation report (paper §5).
+- ``python -m repro.tools.report [--config cfg.json] --workload redis``
+  — build an image, drive a workload, and report gate crossings,
+  per-compartment time, and memory usage.
+"""
+
+from repro.tools.inspect import describe_config, format_conflicts, format_specs
+from repro.tools.report import report as run_report
+
+__all__ = ["describe_config", "format_conflicts", "format_specs", "run_report"]

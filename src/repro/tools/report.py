@@ -1,0 +1,120 @@
+"""Run a configuration and report where its time and memory go.
+
+Usage::
+
+    python -m repro.tools.report --config build.json --workload redis
+    python -m repro.tools.report --libs libc,netstack,iperf \\
+        --backend mpk-shared --workload iperf
+
+Prints the compartment layout, the per-edge gate-crossing counts (the
+Fig. 5 diagnosis view), the per-compartment simulated-time attribution,
+and the memory report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+from repro.core.builder import build_image
+from repro.core.config import BuildConfig
+
+
+def run_workload(image, workload: str) -> str:
+    """Drive the named workload; returns a one-line summary."""
+    if workload == "iperf":
+        from repro.apps import run_iperf
+
+        result = run_iperf(image, 1024, 1 << 18)
+        return f"iperf: {result.throughput_mbps:.0f} Mb/s simulated"
+    if workload == "redis":
+        from repro.apps import (
+            make_get_payloads,
+            make_set_payloads,
+            run_redis_phase,
+            start_redis,
+        )
+
+        start_redis(image)
+        run_redis_phase(
+            image,
+            make_set_payloads(64, 50, keyspace=32),
+            window=8,
+            expect_prefix=b"+OK",
+        )
+        result = run_redis_phase(
+            image, make_get_payloads(300, 32), window=8, expect_prefix=b"$"
+        )
+        return (
+            f"redis: {result.mreq_s:.3f} Mreq/s, p50 "
+            f"{result.latency_percentile(0.5):.0f} ns, p99 "
+            f"{result.latency_percentile(0.99):.0f} ns"
+        )
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def report(config: BuildConfig, workload: str) -> str:
+    """Build, run, and render the full report."""
+    image = build_image(config)
+    image.machine.cpu.attribute_time = True
+    summary = run_workload(image, workload)
+    lines = ["== Layout ==", image.layout(), "", f"== Workload ==", summary]
+
+    lines += ["", "== Gate crossings (busiest first) =="]
+    for caller, callee, kind, crossings in image.crossing_report()[:12]:
+        lines.append(f"  {caller:10s} -> {callee:10s} [{kind:12s}] {crossings:8d}")
+
+    lines += ["", "== Simulated time by compartment =="]
+    total = sum(image.machine.cpu.domain_time_ns.values()) or 1.0
+    for name, ns in sorted(
+        image.machine.cpu.domain_time_ns.items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"  {name:28s} {ns / 1e6:9.3f} ms  ({ns / total:5.1%})")
+
+    lines += ["", "== Memory =="]
+    for row in image.memory_report():
+        lines.append(
+            f"  {row['compartment']:28s} owned {row['owned_bytes']:>10d} B, "
+            f"heap in use {row['heap_in_use']:>8d} B "
+            f"({row['heap_live_blocks']} blocks)"
+        )
+    return "\n".join(lines)
+
+
+def config_from_args(args) -> BuildConfig:
+    if args.config:
+        data = json.loads(pathlib.Path(args.config).read_text())
+        return BuildConfig.from_dict(data)
+    libraries = [name for name in args.libs.split(",") if name]
+    hardening = {}
+    for entry in args.harden:
+        lib, _, techs = entry.partition("=")
+        hardening[lib] = tuple(techs.split("+")) if techs else ()
+    return BuildConfig(
+        libraries=libraries, backend=args.backend, hardening=hardening
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Build a FlexOS config, run a workload, report costs"
+    )
+    parser.add_argument("--config", help="JSON BuildConfig file")
+    parser.add_argument(
+        "--libs", default="libc,netstack,iperf", help="comma-separated libraries"
+    )
+    parser.add_argument("--backend", default="mpk-shared")
+    parser.add_argument(
+        "--harden", action="append", default=[], metavar="LIB=tech1+tech2"
+    )
+    parser.add_argument(
+        "--workload", default="iperf", choices=("iperf", "redis")
+    )
+    args = parser.parse_args(argv)
+    print(report(config_from_args(args), args.workload))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

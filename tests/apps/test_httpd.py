@@ -1,0 +1,134 @@
+"""Functional tests for the static-file HTTP-style server."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.apps import populate_files, run_closed_loop, start_httpd
+
+LIBS = ["libc", "netstack", "vfs", "httpd"]
+FILES = {
+    "/index.html": b"<html>hello flexos</html>",
+    "/empty": b"",
+    "/data.bin": bytes(range(200)),
+}
+
+
+def build(backend="none", groups=None):
+    groups = groups or [
+        ["netstack"],
+        ["vfs"],
+        ["sched", "alloc", "libc", "httpd"],
+    ]
+    image = build_image(
+        BuildConfig(libraries=LIBS, compartments=groups, backend=backend)
+    )
+    populate_files(image, FILES)
+    return image
+
+
+def serve(image, requests, window=4):
+    start_httpd(image)
+    responses = []
+    netstack = image.lib("netstack")
+    from repro.apps.workload import ClosedLoopSource, _switch_budget
+
+    source = ClosedLoopSource(image.lib("httpd").PORT, requests, window=window)
+    netstack.nic.rx_source = source.source
+    netstack.nic.tx_sink = lambda frame: (
+        source.sink(frame),
+        responses.append(source.last_response),
+    )
+    image.run(until=lambda: source.done, max_switches=_switch_budget(len(requests)))
+    assert source.done
+    return responses
+
+
+def test_get_existing_file():
+    image = build()
+    responses = serve(image, [b"GET /index.html\n"])
+    assert responses == [b"200 25\n<html>hello flexos</html>"]
+    stats = image.call("httpd", "httpd_stats")
+    assert stats["hits"] == 1
+    assert stats["bytes_served"] == 25
+
+
+def test_get_missing_file_404():
+    image = build()
+    responses = serve(image, [b"GET /nope\n"])
+    assert responses == [b"404\n"]
+    assert image.call("httpd", "httpd_stats")["misses"] == 1
+
+
+def test_empty_file():
+    image = build()
+    responses = serve(image, [b"GET /empty\n"])
+    assert responses == [b"200 0\n"]
+
+
+def test_binary_content_integrity():
+    image = build()
+    responses = serve(image, [b"GET /data.bin\n"])
+    assert responses == [b"200 200\n" + bytes(range(200))]
+
+
+def test_bad_request():
+    image = build()
+    responses = serve(image, [b"POST /x\n"])
+    assert responses == [b"400\n"]
+    assert image.call("httpd", "httpd_stats")["bad_requests"] == 1
+
+
+def test_pipelined_requests():
+    image = build()
+    responses = serve(
+        image,
+        [b"GET /index.html\n", b"GET /nope\n", b"GET /data.bin\n"],
+        window=3,
+    )
+    assert responses[0].startswith(b"200 25\n")
+    assert responses[1] == b"404\n"
+    assert responses[2].startswith(b"200 200\n")
+
+
+@pytest.mark.parametrize("backend", ["mpk-shared", "cheri", "vm-rpc"])
+def test_httpd_under_every_isolation_backend(backend):
+    """Three trust domains per request, identical results everywhere."""
+    image = build(backend)
+    responses = serve(image, [b"GET /index.html\n"] * 5)
+    assert responses == [b"200 25\n<html>hello flexos</html>"] * 5
+
+
+def test_closed_loop_runner_measures_httpd():
+    image = build("mpk-shared")
+    start_httpd(image)
+    result = run_closed_loop(
+        image,
+        image.lib("httpd").PORT,
+        [b"GET /index.html\n"] * 50,
+        window=8,
+        expect_prefix=b"200",
+    )
+    assert result.requests == 50
+    assert result.mreq_s > 0
+
+
+def test_isolation_slows_httpd_but_preserves_results():
+    flat = build(
+        "none",
+        [["netstack", "vfs", "sched", "alloc", "libc", "httpd"]],
+    )
+    isolated = build("mpk-switched")
+    for image in (flat, isolated):
+        start_httpd(image)
+    requests = [b"GET /data.bin\n"] * 100
+
+    def rate(image):
+        return run_closed_loop(
+            image, image.lib("httpd").PORT, requests, window=8,
+            expect_prefix=b"200",
+        )
+
+    flat_result = rate(flat)
+    isolated_result = rate(isolated)
+    assert flat_result.payload_bytes == isolated_result.payload_bytes
+    assert flat_result.mreq_s > isolated_result.mreq_s

@@ -1,0 +1,70 @@
+"""httpd streaming path: files larger than the staging buffer."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.apps import populate_files, start_httpd
+from repro.libos.net.packet import build_packet, unpack_header
+
+
+@pytest.fixture
+def image():
+    img = build_image(
+        BuildConfig(
+            libraries=["libc", "netstack", "vfs", "httpd"],
+            compartments=[
+                ["netstack"],
+                ["vfs"],
+                ["sched", "alloc", "libc", "httpd"],
+            ],
+            backend="mpk-shared",
+        )
+    )
+    return img
+
+
+def fetch(image, path, request_count=1):
+    """Issue GETs with a raw sink that reassembles streamed responses."""
+    app = start_httpd(image)
+    netstack = image.lib("netstack")
+    queue = [
+        build_packet(app.PORT, b"GET %s\n" % path)
+        for _ in range(request_count)
+    ]
+    received = bytearray()
+
+    def source():
+        return queue.pop(0) if queue else None
+
+    def sink(frame):
+        header = unpack_header(frame)
+        received.extend(frame[16 : 16 + header.length])
+
+    netstack.nic.rx_source = source
+    netstack.nic.tx_sink = sink
+    target = app.hits + app.misses + request_count
+    image.run(
+        until=lambda: app.hits + app.misses >= target,
+        max_switches=500_000,
+    )
+    assert app.hits + app.misses >= target
+    return bytes(received)
+
+
+def test_large_file_streams_completely(image):
+    content = bytes(range(256)) * 64  # 16 KiB > BUF_SIZE and > MSS
+    populate_files(image, {"/big": content})
+    body = fetch(image, b"/big")
+    header = b"200 %d\n" % len(content)
+    assert body.startswith(header)
+    assert body[len(header) :] == content
+    assert image.call("httpd", "httpd_stats")["bytes_served"] == len(content)
+
+
+def test_streaming_repeats_are_identical(image):
+    content = b"stream" * 3000  # 18 KiB
+    populate_files(image, {"/repeat": content})
+    first = fetch(image, b"/repeat")
+    second = fetch(image, b"/repeat")
+    assert first == second
+    assert content in first

@@ -1,0 +1,97 @@
+"""Functional tests for the iperf application and its runner."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.apps import run_iperf
+from repro.apps.workload import IperfSource
+from repro.libos.net.packet import MSS, unpack_header
+
+
+@pytest.fixture
+def image():
+    return build_image(
+        BuildConfig(
+            libraries=["libc", "netstack", "iperf"],
+            compartments=[["netstack"], ["sched", "alloc", "libc", "iperf"]],
+            backend="none",
+        )
+    )
+
+
+def test_iperf_source_generates_exact_stream():
+    source = IperfSource(5001, 10_000, chunk=1000)
+    packets = []
+    while True:
+        packet = source()
+        if packet is None:
+            break
+        packets.append(packet)
+    assert len(packets) == 10
+    total = sum(unpack_header(p).length for p in packets)
+    assert total == 10_000
+    assert source.remaining == 0
+
+
+def test_iperf_source_chunk_validation():
+    with pytest.raises(ValueError):
+        IperfSource(1, 100, chunk=0)
+    with pytest.raises(ValueError):
+        IperfSource(1, 100, chunk=MSS + 1)
+
+
+def test_run_iperf_counts_every_byte(image):
+    total = 200_000
+    result = run_iperf(image, 2048, total)
+    assert result.payload_bytes == total
+    app = image.lib("iperf")
+    assert app.received == total
+    assert app.done
+    assert result.throughput_mbps > 0
+
+
+def test_run_iperf_is_deterministic():
+    results = []
+    for _ in range(2):
+        image = build_image(
+            BuildConfig(
+                libraries=["libc", "netstack", "iperf"],
+                compartments=[
+                    ["netstack"],
+                    ["sched", "alloc", "libc", "iperf"],
+                ],
+                backend="mpk-shared",
+            )
+        )
+        results.append(run_iperf(image, 1024, 1 << 17).elapsed_ns)
+    assert results[0] == results[1]
+
+
+def test_sequential_measurements_use_fresh_ports(image):
+    first = run_iperf(image, 512, 50_000)
+    second = run_iperf(image, 512, 50_000)
+    assert first.elapsed_ns > 0 and second.elapsed_ns > 0
+    stats = image.call("netstack", "net_stats")
+    assert stats["open_sockets"] == 2
+
+
+def test_bigger_buffers_are_not_slower(image):
+    small = run_iperf(image, 64, 1 << 17)
+    large = run_iperf(image, 65536, 1 << 17)
+    assert large.throughput_mbps >= small.throughput_mbps
+
+
+def test_server_validates_parameters(image):
+    app = image.lib("iperf")
+    with pytest.raises(ValueError):
+        app.make_server(1, 0, 100)
+    with pytest.raises(ValueError):
+        app.make_server(1, 100, 0)
+
+
+def test_iperf_stats_export(image):
+    run_iperf(image, 1024, 100_000)
+    stats = image.call("iperf", "iperf_stats")
+    assert stats["received"] == 100_000
+    assert stats["done"] == 1
+    assert stats["recv_calls"] > 0

@@ -1,0 +1,150 @@
+"""Functional tests for the Redis-like server (protocol correctness)."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.apps import (
+    ClosedLoopSource,
+    make_get_payloads,
+    make_set_payloads,
+    run_redis_phase,
+    start_redis,
+)
+
+GROUPS = [["netstack"], ["sched", "alloc", "libc", "redis"]]
+
+
+@pytest.fixture
+def image():
+    return build_image(
+        BuildConfig(
+            libraries=["libc", "netstack", "redis"],
+            compartments=GROUPS,
+            backend="none",
+        )
+    )
+
+
+def run_requests(image, payloads, window=4):
+    app = start_redis(image)
+    netstack = image.lib("netstack")
+    source = ClosedLoopSource(app.PORT, payloads, window=window)
+    netstack.nic.rx_source = source.source
+    responses = []
+    netstack.nic.tx_sink = lambda frame: (
+        source.sink(frame),
+        responses.append(source.last_response),
+    )
+    image.run(until=lambda: source.done, max_switches=100_000)
+    assert source.done
+    return responses
+
+
+def test_set_then_get_roundtrip(image):
+    responses = run_requests(
+        image,
+        [b"SET color 4\nblue", b"GET color\n"],
+    )
+    assert responses == [b"+OK\n", b"$4\nblue"]
+
+
+def test_get_miss(image):
+    responses = run_requests(image, [b"GET nothing\n"])
+    assert responses == [b"$-1\n"]
+    assert image.call("redis", "redis_stats")["misses"] == 1
+
+
+def test_overwrite_replaces_value(image):
+    responses = run_requests(
+        image,
+        [b"SET k 3\nold", b"SET k 7\nnewdata", b"GET k\n"],
+    )
+    assert responses[-1] == b"$7\nnewdata"
+    assert image.call("redis", "dbsize") == 1
+
+
+def test_values_live_in_simulated_memory(image):
+    run_requests(image, [b"SET key 11\nhello world"])
+    assert image.lib("redis").value_of(b"key") == b"hello world"
+    assert image.lib("redis").value_of(b"absent") is None
+
+
+def test_empty_value(image):
+    responses = run_requests(image, [b"SET empty 0\n", b"GET empty\n"])
+    assert responses == [b"+OK\n", b"$0\n"]
+
+
+def test_binaryish_values(image):
+    value = bytes(range(1, 128))
+    request = b"SET bin %d\n" % len(value) + value
+    responses = run_requests(image, [request, b"GET bin\n"])
+    assert responses[-1] == b"$%d\n" % len(value) + value
+
+
+def test_malformed_commands(image):
+    responses = run_requests(
+        image,
+        [b"SET missing-args\n", b"FLY away\n", b"SET k notanum\n"],
+    )
+    assert responses == [b"-ERR\n"] * 3
+    assert image.call("redis", "redis_stats")["errors"] == 3
+
+
+def test_pipelined_commands_in_one_packet(image):
+    responses = run_requests(
+        image, [b"SET a 1\nxGET a\n" + b"GET missing\n"]
+    )
+    # One packet carrying three commands yields three responses.
+    assert responses == [b"+OK\n", b"$1\nx", b"$-1\n"]
+
+
+def test_partial_command_across_packets(image):
+    """A SET whose value is split across two packets completes after the
+    second arrives (stream reassembly)."""
+    # window=2 so the completing packet is sent without waiting for a
+    # response to the (necessarily silent) partial one.
+    half1 = b"SET split 10\nfirst"
+    half2 = b"half!GET split\n"
+    responses = run_requests(image, [half1, half2], window=2)
+    assert responses == [b"+OK\n", b"$10\nfirsthalf!"]
+
+
+def test_stats_counters(image):
+    run_requests(
+        image,
+        [b"SET a 1\nx", b"GET a\n", b"GET a\n", b"GET b\n"],
+    )
+    stats = image.call("redis", "redis_stats")
+    assert stats["sets"] == 1
+    assert stats["gets"] == 3
+    assert stats["misses"] == 1
+    assert stats["responses"] == 4
+
+
+def test_run_redis_phase_helper(image):
+    start_redis(image)
+    sets = run_redis_phase(
+        image, make_set_payloads(20, 32, keyspace=8), expect_prefix=b"+OK"
+    )
+    assert sets.requests == 20
+    gets = run_redis_phase(
+        image, make_get_payloads(40, 8), expect_prefix=b"$"
+    )
+    assert gets.requests == 40
+    assert gets.mreq_s > 0
+    assert gets.elapsed_ns > 0
+
+
+def test_payload_generators():
+    sets = make_set_payloads(10, 16, keyspace=4)
+    assert len(sets) == 10
+    assert sets[0].startswith(b"SET key0 16\n")
+    assert sets[4].startswith(b"SET key0 ")  # keyspace cycles
+    gets = make_get_payloads(6, 3)
+    assert gets[3] == b"GET key0\n"
+
+
+def test_start_redis_idempotent(image):
+    app1 = start_redis(image)
+    app2 = start_redis(image)
+    assert app1 is app2

@@ -1,0 +1,108 @@
+"""Extended Redis command set: DEL, EXISTS, INCR, APPEND."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.apps import ClosedLoopSource, start_redis
+from repro.apps.workload import _switch_budget
+
+
+@pytest.fixture
+def image():
+    return build_image(
+        BuildConfig(
+            libraries=["libc", "netstack", "redis"],
+            compartments=[["netstack"], ["sched", "alloc", "libc", "redis"]],
+            backend="none",
+        )
+    )
+
+
+def run_requests(image, payloads, window=4):
+    app = start_redis(image)
+    netstack = image.lib("netstack")
+    source = ClosedLoopSource(app.PORT, payloads, window=window)
+    responses = []
+    netstack.nic.rx_source = source.source
+    netstack.nic.tx_sink = lambda frame: (
+        source.sink(frame),
+        responses.append(source.last_response),
+    )
+    image.run(until=lambda: source.done, max_switches=_switch_budget(len(payloads)))
+    assert source.done
+    return responses
+
+
+def test_del_existing_and_missing(image):
+    responses = run_requests(
+        image, [b"SET k 3\nabc", b"DEL k\n", b"DEL k\n", b"GET k\n"]
+    )
+    assert responses == [b"+OK\n", b":1\n", b":0\n", b"$-1\n"]
+    assert image.call("redis", "dbsize") == 0
+
+
+def test_del_frees_heap(image):
+    allocator = image.compartment_of("redis").allocator
+    run_requests(image, [b"SET big 512\n" + b"x" * 512])
+    in_use = allocator.bytes_in_use
+    run_requests(image, [b"DEL big\n"])
+    assert allocator.bytes_in_use < in_use
+
+
+def test_exists(image):
+    responses = run_requests(
+        image, [b"EXISTS k\n", b"SET k 1\nv", b"EXISTS k\n"]
+    )
+    assert responses == [b":0\n", b"+OK\n", b":1\n"]
+
+
+def test_incr_from_nothing_and_existing(image):
+    responses = run_requests(
+        image, [b"INCR counter\n", b"INCR counter\n", b"GET counter\n"]
+    )
+    assert responses == [b":1\n", b":2\n", b"$1\n2"]
+    # Many increments cross a digit-length boundary correctly.
+    responses = run_requests(image, [b"INCR counter\n"] * 10)
+    assert responses[-1] == b":12\n"
+    assert image.lib("redis").value_of(b"counter") == b"12"
+
+
+def test_incr_non_numeric_errors(image):
+    responses = run_requests(
+        image, [b"SET word 5\nhello", b"INCR word\n"]
+    )
+    assert responses == [b"+OK\n", b"-ERR\n"]
+    # The old value is untouched.
+    assert image.lib("redis").value_of(b"word") == b"hello"
+
+
+def test_append_builds_strings(image):
+    responses = run_requests(
+        image,
+        [
+            b"APPEND log 5\nfirst",
+            b"APPEND log 7\n|second",
+            b"GET log\n",
+        ],
+    )
+    assert responses == [b":5\n", b":12\n", b"$12\nfirst|second"]
+
+
+def test_append_bad_args(image):
+    responses = run_requests(image, [b"APPEND onlykey\n"])
+    assert responses == [b"-ERR\n"]
+
+
+def test_commands_work_under_mpk():
+    image = build_image(
+        BuildConfig(
+            libraries=["libc", "netstack", "redis"],
+            compartments=[["netstack"], ["sched", "alloc", "libc", "redis"]],
+            backend="mpk-shared",
+        )
+    )
+    responses = run_requests(
+        image,
+        [b"SET a 1\nx", b"INCR n\n", b"APPEND a 1\ny", b"EXISTS a\n", b"DEL a\n"],
+    )
+    assert responses == [b"+OK\n", b":1\n", b":2\n", b":1\n", b":1\n"]

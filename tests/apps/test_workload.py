@@ -1,0 +1,51 @@
+"""Unit tests for the closed-loop workload source."""
+
+import pytest
+
+from repro.apps.workload import ClosedLoopSource
+from repro.libos.net.packet import MSS, build_packet, unpack_header
+
+
+def test_window_limits_outstanding():
+    source = ClosedLoopSource(80, [b"a", b"b", b"c"], window=2)
+    assert source.source() is not None
+    assert source.source() is not None
+    assert source.source() is None  # window full
+    # A response opens a slot.
+    source.sink(build_packet(40000, b"+OK\n", src_port=80))
+    assert source.source() is not None
+    assert source.source() is None  # queue drained + window full
+
+
+def test_done_tracks_responses():
+    source = ClosedLoopSource(80, [b"x"], window=1)
+    assert not source.done
+    source.source()
+    source.sink(build_packet(40000, b"resp", src_port=80))
+    assert source.done
+    assert source.responses == 1
+    assert source.response_bytes == 4
+    assert source.last_response == b"resp"
+
+
+def test_prefix_validation():
+    source = ClosedLoopSource(80, [b"x", b"y"], window=2, expect_prefix=b"+")
+    source.source()
+    source.source()
+    source.sink(build_packet(40000, b"+OK", src_port=80))
+    source.sink(build_packet(40000, b"-ERR", src_port=80))
+    assert source.bad_responses == 1
+
+
+def test_sequence_numbers_advance():
+    source = ClosedLoopSource(80, [b"aaaa", b"bb"], window=2)
+    first = unpack_header(source.source())
+    second = unpack_header(source.source())
+    assert second.seq == first.seq + 4
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        ClosedLoopSource(80, [], window=0)
+    with pytest.raises(ValueError):
+        ClosedLoopSource(80, [b"z" * (MSS + 1)])

@@ -1,0 +1,147 @@
+"""Unit + property tests for compartment graph coloring."""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coloring import (
+    color_classes,
+    dsatur_coloring,
+    exact_coloring,
+    minimum_coloring,
+    verify_coloring,
+)
+
+
+def path(n):
+    nodes = [f"v{i}" for i in range(n)]
+    edges = {frozenset({nodes[i], nodes[i + 1]}) for i in range(n - 1)}
+    return nodes, edges
+
+
+def complete(n):
+    nodes = [f"v{i}" for i in range(n)]
+    edges = {frozenset(pair) for pair in itertools.combinations(nodes, 2)}
+    return nodes, edges
+
+
+def test_empty_graph():
+    assert exact_coloring([], []) == {}
+    assert dsatur_coloring([], []) == {}
+
+
+def test_single_node():
+    coloring = minimum_coloring(["only"], [])
+    assert coloring == {"only": 0}
+
+
+def test_no_edges_one_color():
+    nodes = [f"v{i}" for i in range(6)]
+    coloring = minimum_coloring(nodes, [])
+    assert set(coloring.values()) == {0}
+
+
+def test_path_is_two_colorable():
+    nodes, edges = path(7)
+    coloring = exact_coloring(nodes, edges)
+    assert verify_coloring(edges, coloring)
+    assert max(coloring.values()) + 1 == 2
+
+
+def test_complete_graph_needs_n_colors():
+    """Paper: 'in the worst case where all libraries have conflicts,
+    each library will be instantiated in its own compartment.'"""
+    nodes, edges = complete(6)
+    coloring = exact_coloring(nodes, edges)
+    assert verify_coloring(edges, coloring)
+    assert max(coloring.values()) + 1 == 6
+
+
+def test_odd_cycle_needs_three():
+    nodes = [f"v{i}" for i in range(5)]
+    edges = {frozenset({nodes[i], nodes[(i + 1) % 5]}) for i in range(5)}
+    coloring = exact_coloring(nodes, edges)
+    assert verify_coloring(edges, coloring)
+    assert max(coloring.values()) + 1 == 3
+
+
+def test_verify_coloring_detects_conflict():
+    nodes, edges = path(3)
+    bad = {node: 0 for node in nodes}
+    assert not verify_coloring(edges, bad)
+
+
+def test_bad_edges_rejected():
+    with pytest.raises(ValueError):
+        dsatur_coloring(["a"], [frozenset({"a", "ghost"})])
+    with pytest.raises(ValueError):
+        dsatur_coloring(["a", "b"], [frozenset({"a"})])
+
+
+def test_color_classes_grouping():
+    coloring = {"a": 0, "b": 1, "c": 0, "d": 2}
+    assert color_classes(coloring) == [["a", "c"], ["b"], ["d"]]
+
+
+def test_dsatur_deterministic():
+    nodes, edges = path(9)
+    assert dsatur_coloring(nodes, edges) == dsatur_coloring(nodes, edges)
+
+
+def _random_graph(n, p, seed):
+    rng = random.Random(seed)
+    nodes = [f"v{i}" for i in range(n)]
+    edges = {
+        frozenset(pair)
+        for pair in itertools.combinations(nodes, 2)
+        if rng.random() < p
+    }
+    return nodes, edges
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_exact_never_worse_than_dsatur(seed):
+    nodes, edges = _random_graph(11, 0.4, seed)
+    greedy = dsatur_coloring(nodes, edges)
+    exact = exact_coloring(nodes, edges)
+    assert verify_coloring(edges, greedy)
+    assert verify_coloring(edges, exact)
+    assert max(exact.values(), default=-1) <= max(greedy.values(), default=-1)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_exact_matches_networkx_lower_bound(seed):
+    """Cross-check against networkx: our exact count is never above any
+    networkx strategy and is a valid chromatic number witness."""
+    nodes, edges = _random_graph(10, 0.45, seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from(tuple(edge) for edge in edges)
+    ours = max(exact_coloring(nodes, edges).values(), default=-1) + 1
+    for strategy in ("largest_first", "DSATUR", "smallest_last"):
+        nx_coloring = nx.coloring.greedy_color(graph, strategy=strategy)
+        nx_count = max(nx_coloring.values(), default=-1) + 1
+        assert ours <= nx_count
+    # Lower bound: any clique forces that many colors.
+    clique_size = max((len(c) for c in nx.find_cliques(graph)), default=0)
+    assert ours >= clique_size
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_coloring_always_valid_and_complete(n, p, seed):
+    nodes, edges = _random_graph(n, p, seed)
+    for solver in (dsatur_coloring, exact_coloring):
+        coloring = solver(nodes, edges)
+        assert set(coloring) == set(nodes)
+        assert verify_coloring(edges, coloring)
+        used = sorted(set(coloring.values()))
+        assert used == list(range(len(used)))  # colors are dense

@@ -1,0 +1,143 @@
+"""Unit tests for pairwise compatibility — the paper's §2 logic."""
+
+from repro.core.compatibility import (
+    can_share,
+    conflict_graph,
+    explain_conflict,
+    violations,
+)
+from repro.core.metadata import LibrarySpec, Region, Requires
+from repro.core.spec_parser import parse_spec
+
+SCHEDULER = parse_spec(
+    "sched",
+    """
+    [Memory access] Read(Own,Shared); Write(Own,Shared)
+    [Call] alloc::malloc, alloc::free
+    [API] thread_add(); thread_rm(); yield_()
+    [Requires] *(Read,Own), *(Write,Shared), *(Call, thread_add), \
+*(Call, thread_rm), *(Call, yield_)
+    """,
+)
+
+UNSAFE_C = parse_spec(
+    "unsafe_c",
+    """
+    [Memory access] Read(*); Write(*)
+    [Call] *
+    """,
+)
+
+BOUNDED = parse_spec(
+    "bounded",
+    """
+    [Memory access] Read(Own,Shared); Write(Own,Shared)
+    [Call] sched::thread_add
+    """,
+)
+
+
+def test_paper_worked_example_scheduler_vs_unsafe_c():
+    """'These two libraries cannot be run in the same compartment.'"""
+    assert not can_share(SCHEDULER, UNSAFE_C)
+    found = violations(UNSAFE_C, SCHEDULER)
+    categories = {violation.category for violation in found}
+    assert "write" in categories  # could write the scheduler's own memory
+    assert "call" in categories  # could jump past the entry points
+
+
+def test_no_requires_means_compatible():
+    """'If both libraries have no Requires clause, the answer is yes.'"""
+    other_unsafe = LibrarySpec(
+        name="other",
+        reads=frozenset({Region.ALL}),
+        writes=frozenset({Region.ALL}),
+        calls=None,
+    )
+    assert can_share(UNSAFE_C, other_unsafe)
+
+
+def test_bounded_library_can_join_scheduler():
+    assert can_share(SCHEDULER, BOUNDED)
+    assert explain_conflict(SCHEDULER, BOUNDED) == []
+
+
+def test_disallowed_entry_point_blocks_sharing():
+    caller = LibrarySpec(
+        name="caller", calls=frozenset({"sched::secret_internal"})
+    )
+    found = violations(caller, SCHEDULER)
+    assert len(found) == 1
+    assert found[0].category == "call"
+    assert "secret_internal" in found[0].detail
+
+
+def test_calls_to_third_parties_do_not_concern_owner():
+    caller = LibrarySpec(name="caller", calls=frozenset({"libc::memcpy"}))
+    assert violations(caller, SCHEDULER) == []
+
+
+def test_shared_write_needs_allowance():
+    owner = LibrarySpec(
+        name="owner",
+        requires=Requires(writes=frozenset()),  # nothing writable
+    )
+    actor = LibrarySpec(name="actor")  # writes Own+Shared
+    found = violations(actor, owner)
+    assert any(v.category == "write" for v in found)
+    # An actor writing only its own memory is fine.
+    loner = LibrarySpec(name="loner", writes=frozenset({Region.OWN}))
+    assert violations(loner, owner) == []
+
+
+def test_read_allowance_implied_by_write_allowance():
+    owner = LibrarySpec(
+        name="owner",
+        requires=Requires(
+            reads=frozenset(), writes=frozenset({Region.SHARED})
+        ),
+    )
+    reader = LibrarySpec(
+        name="reader",
+        reads=frozenset({Region.SHARED}),
+        writes=frozenset({Region.OWN}),
+    )
+    assert violations(reader, owner) == []
+
+
+def test_unbounded_reads_violate_read_restriction():
+    owner = LibrarySpec(
+        name="owner", requires=Requires(reads=frozenset({Region.SHARED}))
+    )
+    snooper = LibrarySpec(name="snooper", reads=frozenset({Region.ALL}))
+    found = violations(snooper, owner)
+    assert any(v.category == "read" for v in found)
+
+
+def test_violation_is_directional():
+    # The scheduler does not violate the unsafe lib (no Requires there),
+    # only the other way round.
+    assert violations(SCHEDULER, UNSAFE_C) == []
+    assert violations(UNSAFE_C, SCHEDULER) != []
+
+
+def test_conflict_graph_structure():
+    specs = [SCHEDULER, UNSAFE_C, BOUNDED]
+    nodes, edges = conflict_graph(specs)
+    assert set(nodes) == {"sched", "unsafe_c", "bounded"}
+    assert frozenset({"sched", "unsafe_c"}) in edges
+    assert frozenset({"sched", "bounded"}) not in edges
+    assert frozenset({"unsafe_c", "bounded"}) not in edges
+
+
+def test_conflict_graph_duplicate_names_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        conflict_graph([BOUNDED, BOUNDED])
+
+
+def test_violation_str():
+    found = violations(UNSAFE_C, SCHEDULER)
+    text = str(found[0])
+    assert "unsafe_c" in text and "sched" in text

@@ -1,0 +1,101 @@
+"""Unit tests for the metadata model."""
+
+import pytest
+
+from repro.core.metadata import (
+    UNSAFE_SPEC_TEMPLATE,
+    LibrarySpec,
+    Region,
+    Requires,
+    normalize_regions,
+)
+
+
+def test_normalize_all_absorbs():
+    assert normalize_regions({Region.ALL, Region.OWN}) == frozenset({Region.ALL})
+    assert normalize_regions({Region.OWN, Region.SHARED}) == frozenset(
+        {Region.OWN, Region.SHARED}
+    )
+
+
+def test_spec_normalizes_on_construction():
+    spec = LibrarySpec(
+        name="x",
+        reads=frozenset({Region.ALL, Region.OWN}),
+        writes=frozenset({Region.OWN}),
+    )
+    assert spec.reads == frozenset({Region.ALL})
+    assert spec.reads_everything
+    assert not spec.writes_everything
+
+
+def test_region_predicates():
+    spec = UNSAFE_SPEC_TEMPLATE
+    assert spec.writes_region(Region.OWN)
+    assert spec.writes_region(Region.SHARED)
+    assert spec.reads_region(Region.OWN)
+    assert spec.calls_anything
+
+    bounded = LibrarySpec(name="b")
+    assert bounded.writes_region(Region.OWN)
+    assert bounded.writes_region(Region.SHARED)
+    assert not bounded.writes_everything
+
+
+def test_calls_into():
+    spec = LibrarySpec(
+        name="caller",
+        calls=frozenset({"sched::wake_one", "sched::yield_", "alloc::malloc"}),
+    )
+    assert spec.calls_into("sched") == frozenset({"wake_one", "yield_"})
+    assert spec.calls_into("alloc") == frozenset({"malloc"})
+    assert spec.calls_into("libc") == frozenset()
+    assert LibrarySpec(name="wild", calls=None).calls_into("sched") is None
+
+
+def test_requires_allowed_reads_includes_writes():
+    requires = Requires(
+        reads=frozenset({Region.OWN}), writes=frozenset({Region.SHARED})
+    )
+    assert requires.allowed_reads() == frozenset({Region.OWN, Region.SHARED})
+    assert Requires().allowed_reads() is None
+    assert Requires().empty
+    assert not requires.empty
+
+
+def test_with_requires():
+    spec = LibrarySpec(name="x")
+    requires = Requires(calls=frozenset({"api_fn"}))
+    updated = spec.with_requires(requires)
+    assert updated.requires is requires
+    assert spec.requires is None  # original untouched (frozen)
+
+
+def test_describe_roundtrips_through_parser():
+    from repro.core.spec_parser import parse_spec
+
+    spec = LibrarySpec(
+        name="sched",
+        reads=frozenset({Region.OWN, Region.SHARED}),
+        writes=frozenset({Region.OWN, Region.SHARED}),
+        calls=frozenset({"alloc::malloc", "alloc::free"}),
+        api=("thread_add", "thread_rm"),
+        requires=Requires(
+            reads=frozenset({Region.OWN}),
+            writes=frozenset({Region.SHARED}),
+            calls=frozenset({"thread_add"}),
+        ),
+    )
+    reparsed = parse_spec("sched", spec.describe())
+    assert reparsed.reads == spec.reads
+    assert reparsed.writes == spec.writes
+    assert reparsed.calls == spec.calls
+    assert set(reparsed.api) == set(spec.api)
+    assert reparsed.requires == spec.requires
+
+
+def test_describe_unsafe_component():
+    text = UNSAFE_SPEC_TEMPLATE.describe()
+    assert "Read(*)" in text
+    assert "Write(*)" in text
+    assert "[Call] *" in text

@@ -1,0 +1,82 @@
+"""Unit tests for the measurement utilities."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.perf.meter import BenchResult, Meter, gbps, mbps, mreq_per_s
+
+
+def test_unit_conversions():
+    # 1000 bytes in 1000 ns = 1 GB/s = 8 Gb/s = 8000 Mb/s.
+    assert mbps(1000, 1000) == pytest.approx(8000.0)
+    assert gbps(1000, 1000) == pytest.approx(8.0)
+    assert mreq_per_s(100, 100_000) == pytest.approx(1.0)
+
+
+def test_zero_elapsed_is_zero_not_crash():
+    assert mbps(100, 0) == 0.0
+    assert mreq_per_s(100, 0) == 0.0
+
+
+def test_bench_result_properties():
+    result = BenchResult(
+        label="test", payload_bytes=2000, requests=10, elapsed_ns=2000
+    )
+    assert result.throughput_mbps == pytest.approx(8000.0)
+    assert result.throughput_gbps == pytest.approx(8.0)
+    assert result.mreq_s == pytest.approx(5.0)  # 10 reqs in 2 µs
+    assert result.ns_per_request == pytest.approx(200.0)
+    assert "test" in str(result)
+
+
+def test_empty_result():
+    result = BenchResult(label="idle")
+    assert result.throughput_mbps == 0.0
+    assert result.ns_per_request == 0.0
+
+
+def test_meter_measures_delta():
+    machine = Machine()
+    machine.cpu.charge(500)
+    machine.cpu.bump("ops", 3)
+    with Meter(machine, "window") as meter:
+        machine.cpu.charge(1500)
+        machine.cpu.bump("ops", 7)
+        machine.cpu.bump("new_counter")
+    assert meter.elapsed_ns == 1500
+    delta = meter.stats_delta()
+    assert delta["ops"] == 7
+    assert delta["new_counter"] == 1
+    result = meter.result(payload_bytes=1500)
+    assert result.elapsed_ns == 1500
+    assert result.stats["ops"] == 7
+
+
+def test_meter_nested_counters_vanishing():
+    machine = Machine()
+    machine.cpu.bump("only_before", 5)
+    with Meter(machine) as meter:
+        pass
+    assert meter.stats_delta()["only_before"] == 0
+
+
+def test_percentile_nearest_rank():
+    from repro.perf.meter import percentile
+
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0.0) == 10.0
+    assert percentile(values, 0.5) == 30.0
+    assert percentile(values, 1.0) == 40.0
+    assert percentile([], 0.5) == 0.0
+    with pytest.raises(ValueError):
+        percentile(values, 1.5)
+
+
+def test_latency_fields():
+    result = BenchResult(label="lat", latencies_ns=[100.0, 300.0, 200.0])
+    assert result.mean_latency_ns == pytest.approx(200.0)
+    assert result.latency_percentile(0.5) == 200.0
+    assert result.latency_percentile(0.99) == 300.0
+    empty = BenchResult(label="none")
+    assert empty.mean_latency_ns == 0.0
+    assert empty.latency_percentile(0.9) == 0.0

@@ -1,0 +1,80 @@
+"""The flexos-report CLI."""
+
+import json
+
+import pytest
+
+from repro.core.config import BuildConfig
+from repro.tools.report import config_from_args, main as report_main, report
+
+
+def test_report_iperf_sections():
+    config = BuildConfig(
+        libraries=["libc", "netstack", "iperf"],
+        compartments=[["netstack"], ["sched", "alloc", "libc", "iperf"]],
+        backend="mpk-shared",
+    )
+    text = report(config, "iperf")
+    assert "== Layout ==" in text
+    assert "Mb/s simulated" in text
+    assert "== Gate crossings" in text
+    assert "mpk-shared" in text
+    assert "== Simulated time by compartment ==" in text
+    assert "== Memory ==" in text
+
+
+def test_report_redis_latencies():
+    config = BuildConfig(
+        libraries=["libc", "netstack", "redis"],
+        backend="none",
+    )
+    text = report(config, "redis")
+    assert "Mreq/s" in text and "p99" in text
+
+
+def test_report_unknown_workload():
+    config = BuildConfig(libraries=["libc"])
+    with pytest.raises(ValueError):
+        report(config, "quake")
+
+
+def test_cli_with_flags(capsys):
+    assert (
+        report_main(
+            [
+                "--libs",
+                "libc,netstack,iperf",
+                "--backend",
+                "cheri",
+                "--workload",
+                "iperf",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "cheri" in out
+
+
+def test_cli_with_json_config(tmp_path, capsys):
+    config = BuildConfig(
+        libraries=["libc", "netstack", "iperf"],
+        compartments=[["netstack"], ["sched", "alloc", "libc", "iperf"]],
+        backend="vm-rpc",
+    )
+    path = tmp_path / "build.json"
+    path.write_text(json.dumps(config.to_dict()))
+    assert report_main(["--config", str(path), "--workload", "iperf"]) == 0
+    out = capsys.readouterr().out
+    assert "vm-rpc" in out or "vm=" in out
+
+
+def test_config_from_harden_flags():
+    class Args:
+        config = None
+        libs = "libc,netstack,iperf"
+        backend = "none"
+        harden = ["netstack=asan+cfi"]
+
+    config = config_from_args(Args())
+    assert config.hardening == {"netstack": ("asan", "cfi")}

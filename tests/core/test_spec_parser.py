@@ -1,0 +1,154 @@
+"""Unit tests for the metadata DSL parser, including the paper's examples."""
+
+import pytest
+
+from repro.core.errors import SpecError
+from repro.core.metadata import Region
+from repro.core.spec_parser import parse_spec
+
+#: The paper's verified-scheduler example, verbatim layout (§2).
+SCHEDULER_EXAMPLE = """
+[Memory access] Read(Own,Shared); Write(Own,Shared)
+[Call] alloc::malloc, alloc::free
+[API] thread_add (. . . ); thread_rm(. . . ); yield(. . . )
+[Requires] *(Read,Own), *(Write,Shared), *(Call, thread_add), *. . .
+"""
+
+#: The paper's unsafe-C-component example (§2).
+UNSAFE_EXAMPLE = """
+[Memory access] Read(*); Write(*)
+[Call] *
+"""
+
+
+def test_paper_scheduler_example():
+    spec = parse_spec("sched", SCHEDULER_EXAMPLE)
+    assert spec.reads == frozenset({Region.OWN, Region.SHARED})
+    assert spec.writes == frozenset({Region.OWN, Region.SHARED})
+    assert spec.calls == frozenset({"alloc::malloc", "alloc::free"})
+    assert spec.api == ("thread_add", "thread_rm", "yield")
+    assert spec.requires is not None
+    assert spec.requires.reads == frozenset({Region.OWN})
+    assert spec.requires.writes == frozenset({Region.SHARED})
+    assert spec.requires.calls == frozenset({"thread_add"})
+
+
+def test_paper_unsafe_example():
+    spec = parse_spec("unsafe", UNSAFE_EXAMPLE)
+    assert spec.reads_everything
+    assert spec.writes_everything
+    assert spec.calls_anything
+    assert spec.requires is None
+
+
+def test_absent_call_section_is_conservative():
+    spec = parse_spec("x", "[Memory access] Read(Own); Write(Own)")
+    assert spec.calls is None  # unknown = may call anything
+
+
+def test_empty_call_section_means_no_calls():
+    spec = parse_spec("x", "[Memory access] Read(Own); Write(Own)\n[Call]")
+    assert spec.calls == frozenset()
+
+
+def test_missing_memory_access_rejected():
+    with pytest.raises(SpecError, match="Memory access"):
+        parse_spec("x", "[Call] *")
+
+
+def test_missing_read_or_write_rejected():
+    with pytest.raises(SpecError):
+        parse_spec("x", "[Memory access] Read(Own)")
+    with pytest.raises(SpecError):
+        parse_spec("x", "[Memory access] Write(Own)")
+
+
+def test_duplicate_clauses_rejected():
+    with pytest.raises(SpecError, match="duplicate"):
+        parse_spec("x", "[Memory access] Read(Own); Read(Shared); Write(Own)")
+    with pytest.raises(SpecError, match="duplicate section"):
+        parse_spec(
+            "x",
+            "[Memory access] Read(Own); Write(Own)\n[Call] *\n[Call] *",
+        )
+
+
+def test_unknown_region_rejected():
+    with pytest.raises(SpecError, match="unknown region"):
+        parse_spec("x", "[Memory access] Read(Stack); Write(Own)")
+
+
+def test_unqualified_call_target_rejected():
+    with pytest.raises(SpecError, match="qualified"):
+        parse_spec("x", "[Memory access] Read(Own); Write(Own)\n[Call] malloc")
+
+
+def test_garbage_before_sections_rejected():
+    with pytest.raises(SpecError):
+        parse_spec("x", "hello\n[Memory access] Read(Own); Write(Own)")
+
+
+def test_no_sections_rejected():
+    with pytest.raises(SpecError, match="no metadata sections"):
+        parse_spec("x", "nothing here")
+
+
+def test_bad_api_entry_rejected():
+    with pytest.raises(SpecError, match="invalid API"):
+        parse_spec(
+            "x",
+            "[Memory access] Read(Own); Write(Own)\n[API] 123bad()",
+        )
+
+
+def test_unparsed_requires_rejected():
+    with pytest.raises(SpecError, match="unparsed Requires"):
+        parse_spec(
+            "x",
+            "[Memory access] Read(Own); Write(Own)\n[Requires] gibberish",
+        )
+
+
+def test_requires_unknown_region_rejected():
+    with pytest.raises(SpecError, match="unknown region"):
+        parse_spec(
+            "x",
+            "[Memory access] Read(Own); Write(Own)\n[Requires] *(Read,Heap)",
+        )
+
+
+def test_case_insensitive_sections_and_regions():
+    spec = parse_spec(
+        "x", "[memory access] read(own); WRITE(SHARED)\n[CALL] a::b"
+    )
+    assert spec.reads == frozenset({Region.OWN})
+    assert spec.writes == frozenset({Region.SHARED})
+    assert spec.calls == frozenset({"a::b"})
+
+
+def test_all_real_library_specs_parse():
+    """Every micro-library/app in the repo carries parseable metadata."""
+    from repro.apps.iperf import IperfServerApp
+    from repro.apps.rediserver import RedisServerApp
+    from repro.libos.alloc.liballoc import AllocLibrary
+    from repro.libos.libc.libc import LibCLibrary
+    from repro.libos.mq.mq import MessageQueueLibrary
+    from repro.libos.net.stack import NetstackLibrary
+    from repro.libos.sched.coop import CoopScheduler
+    from repro.libos.sched.verified import VerifiedScheduler
+
+    for cls in (
+        IperfServerApp,
+        RedisServerApp,
+        AllocLibrary,
+        LibCLibrary,
+        MessageQueueLibrary,
+        NetstackLibrary,
+        CoopScheduler,
+        VerifiedScheduler,
+    ):
+        spec = parse_spec(cls.NAME, cls.SPEC)
+        assert spec.name == cls.NAME
+        # Exported API functions appear in the metadata where declared.
+        if spec.api:
+            assert all(name.isidentifier() for name in spec.api)

@@ -1,0 +1,109 @@
+"""Property tests: gate transparency across backends (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import (
+    DirectChannel,
+    MPKSharedStackGate,
+    MPKSwitchedStackGate,
+    ProfileChannel,
+)
+from repro.libos.compartment import Compartment
+from repro.libos.library import Linker, MicroLibrary, export
+from repro.machine.machine import Machine
+from repro.machine.mpk import pkru_for_keys
+
+ARG = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+    st.none(),
+)
+
+
+class EchoService(MicroLibrary):
+    NAME = "echo"
+    SPEC = "[Memory access] Read(Own); Write(Own)"
+
+    @export
+    def echo(self, *args):
+        return args
+
+    @export
+    def boom(self):
+        raise ValueError("boom")
+
+
+class Caller(MicroLibrary):
+    NAME = "caller"
+    SPEC = "[Memory access] Read(Own); Write(Own)"
+
+
+def make_world():
+    machine = Machine()
+    space = machine.new_address_space("main")
+    comp_a = Compartment(0, "svc", machine)
+    comp_a.address_space = space
+    comp_a.pkey = 1
+    comp_a.pkru_value = pkru_for_keys(writable=[1, 14])
+    comp_b = Compartment(1, "cli", machine)
+    comp_b.address_space = space
+    comp_b.pkey = 2
+    comp_b.pkru_value = pkru_for_keys(writable=[2, 14])
+    service = EchoService()
+    caller = Caller()
+    linker = Linker()
+    service.install(machine, comp_a, linker)
+    caller.install(machine, comp_b, linker)
+    machine.cpu.push_context(comp_b.make_context("caller"))
+    return machine, service, caller
+
+
+GATES = [DirectChannel, ProfileChannel, MPKSharedStackGate, MPKSwitchedStackGate]
+
+
+@settings(max_examples=60, deadline=None)
+@given(args=st.lists(ARG, max_size=5).map(tuple))
+def test_gates_are_argument_transparent(args):
+    """Every backend delivers identical arguments and results."""
+    results = []
+    for gate_cls in GATES:
+        machine, service, caller = make_world()
+        gate = gate_cls(machine, caller, service)
+        results.append(gate.invoke("echo", args))
+    assert all(result == args for result in results)
+
+
+@settings(max_examples=30, deadline=None)
+@given(repeats=st.integers(min_value=1, max_value=8))
+def test_context_depth_invariant_over_any_call_pattern(repeats):
+    """N calls (including failing ones) leave the context stack as found."""
+    for gate_cls in GATES:
+        machine, service, caller = make_world()
+        gate = gate_cls(machine, caller, service)
+        for index in range(repeats):
+            if index % 3 == 2:
+                try:
+                    gate.invoke("boom", ())
+                except ValueError:
+                    pass
+            else:
+                gate.invoke("echo", (index,))
+        assert machine.cpu.context_depth == 1
+        assert machine.cpu.current.label == "caller"
+
+
+@settings(max_examples=30, deadline=None)
+@given(args=st.lists(ARG, max_size=4).map(tuple))
+def test_gate_cost_independent_of_results(args):
+    """A gate's crossing cost depends on arity, never on outcomes."""
+    machine, service, caller = make_world()
+    gate = MPKSwitchedStackGate(machine, caller, service)
+    start = machine.cpu.clock_ns
+    gate.invoke("echo", args)
+    first = machine.cpu.clock_ns - start
+    start = machine.cpu.clock_ns
+    gate.invoke("echo", args)
+    second = machine.cpu.clock_ns - start
+    assert first == second

@@ -1,0 +1,166 @@
+"""Trust-boundary API guards (paper §5 wrappers)."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.apps import run_iperf
+from repro.gates.guard import GuardedChannel
+from repro.machine.faults import BoundaryViolation
+
+LIBS = ["libc", "netstack", "iperf"]
+GROUPS = [["netstack"], ["sched", "alloc", "libc", "iperf"]]
+
+
+def build(api_guards=True, backend="mpk-shared", groups=GROUPS):
+    return build_image(
+        BuildConfig(
+            libraries=LIBS,
+            compartments=groups,
+            backend=backend,
+            api_guards=api_guards,
+        )
+    )
+
+
+def test_guards_wrap_only_cross_compartment_edges():
+    image = build()
+    iperf = image.lib("iperf")
+    # iperf → netstack crosses a boundary: guarded.
+    assert isinstance(iperf.stub("netstack")._channel, GuardedChannel)
+    # iperf → libc stays inside the compartment: bare direct channel.
+    assert not isinstance(iperf.stub("libc")._channel, GuardedChannel)
+
+
+def test_guards_disabled_by_default():
+    image = build(api_guards=False)
+    assert not isinstance(
+        image.lib("iperf").stub("netstack")._channel, GuardedChannel
+    )
+
+
+def test_precondition_rejects_bad_size():
+    image = build()
+    iperf = image.lib("iperf")
+    image.machine.cpu.push_context(
+        image.compartment_of("iperf").make_context("app")
+    )
+    try:
+        with pytest.raises(BoundaryViolation, match="port"):
+            iperf.stub("netstack").call("listen", 0)
+        buf = iperf.stub("alloc").call("malloc_shared", 64)
+        fd = iperf.stub("netstack").call("listen", 80)
+        with pytest.raises(BoundaryViolation, match="send size"):
+            iperf.stub("netstack").call("send", fd, buf, -4)
+    finally:
+        image.machine.cpu.pop_context()
+
+
+def test_pointer_check_rejects_private_memory():
+    """Confused deputy: passing a netstack-private address as the recv
+    buffer would make LibC write into the netstack's domain."""
+    image = build()
+    iperf = image.lib("iperf")
+    private = image.compartment_of("iperf").alloc_region(64)
+    image.machine.cpu.push_context(
+        image.compartment_of("iperf").make_context("app")
+    )
+    try:
+        fd = iperf.stub("netstack").call("listen", 80)
+        with pytest.raises(BoundaryViolation, match="pointer"):
+            iperf.stub("netstack").call("send", fd, private, 16)
+    finally:
+        image.machine.cpu.pop_context()
+
+
+def test_pointer_check_accepts_shared_memory():
+    image = build()
+    iperf = image.lib("iperf")
+    image.machine.cpu.push_context(
+        image.compartment_of("iperf").make_context("app")
+    )
+    try:
+        shared = iperf.stub("alloc").call("malloc_shared", 64)
+        fd = iperf.stub("netstack").call("listen", 80)
+        assert iperf.stub("netstack").call("send", fd, shared, 16) == 16
+    finally:
+        image.machine.cpu.pop_context()
+
+
+def test_non_integer_pointer_rejected():
+    image = build()
+    iperf = image.lib("iperf")
+    image.machine.cpu.push_context(
+        image.compartment_of("iperf").make_context("app")
+    )
+    try:
+        fd = iperf.stub("netstack").call("listen", 80)
+        with pytest.raises(BoundaryViolation):
+            iperf.stub("netstack").call("send", fd, "not-an-address", 4)
+    finally:
+        image.machine.cpu.pop_context()
+
+
+def test_raising_predicate_counts_as_failure():
+    image = build()
+    iperf = image.lib("iperf")
+    image.machine.cpu.push_context(
+        image.compartment_of("iperf").make_context("app")
+    )
+    try:
+        # netstack's listen contract indexes args[0]; calling with no
+        # args makes the predicate itself raise — treated as a failed
+        # check (fail closed).
+        with pytest.raises(BoundaryViolation):
+            iperf.stub("netstack").call("listen")
+    finally:
+        image.machine.cpu.pop_context()
+
+
+def test_guarded_image_still_works_end_to_end():
+    image = build()
+    result = run_iperf(image, 1024, 1 << 17)
+    assert result.throughput_mbps > 0
+    stats = image.stats()
+    assert stats["boundary_checks"] > 0
+
+
+def test_guards_cost_throughput():
+    plain = run_iperf(build(api_guards=False), 256, 1 << 17).throughput_mbps
+    guarded = run_iperf(build(api_guards=True), 256, 1 << 17).throughput_mbps
+    assert guarded < plain
+
+
+def test_guard_counters():
+    image = build()
+    channel = image.lib("iperf").stub("netstack")._channel
+    image.machine.cpu.push_context(
+        image.compartment_of("iperf").make_context("app")
+    )
+    try:
+        channel.invoke("listen", (81,))
+        assert channel.checks_performed == 1
+        with pytest.raises(BoundaryViolation):
+            channel.invoke("listen", (0,))
+        assert channel.rejections == 1
+    finally:
+        image.machine.cpu.pop_context()
+
+
+def test_blocking_exports_also_guarded():
+    image = build()
+    netstack = image.lib("netstack")
+    app = image.lib("iperf")
+    failures = []
+
+    def body():
+        stub = app.stub("netstack")
+        fd = stub.call("listen", 90)
+        private = image.compartment_of("iperf").alloc_region(64)
+        try:
+            yield from stub.call_gen("recv", fd, private, 64)
+        except BoundaryViolation as violation:
+            failures.append(violation)
+
+    image.spawn("attacker", body, app)
+    image.run(max_switches=100)
+    assert len(failures) == 1

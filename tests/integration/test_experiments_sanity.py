@@ -1,0 +1,122 @@
+"""Fast end-to-end sanity checks of the experiment machinery.
+
+The full sweeps live in benchmarks/; these integration tests pin the
+*relationships* the paper reports, at reduced scale, so a regression in
+any subsystem shows up in the ordinary test run.
+"""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.apps import (
+    make_get_payloads,
+    make_set_payloads,
+    run_iperf,
+    run_redis_phase,
+    start_redis,
+)
+
+IPERF_LIBS = ["libc", "netstack", "iperf"]
+REDIS_LIBS = ["libc", "netstack", "redis"]
+FLAT = [["netstack", "sched", "alloc", "libc", "iperf"]]
+SPLIT = [["netstack"], ["sched", "alloc", "libc", "iperf"]]
+TOTAL = 1 << 17
+
+
+def iperf_mbps(backend, groups, buffer_size=256, **kw):
+    image = build_image(
+        BuildConfig(
+            libraries=IPERF_LIBS, compartments=groups, backend=backend, **kw
+        )
+    )
+    return run_iperf(image, buffer_size, TOTAL).throughput_mbps
+
+
+def redis_mreq(backend, groups, **kw):
+    image = build_image(
+        BuildConfig(
+            libraries=REDIS_LIBS, compartments=groups, backend=backend, **kw
+        )
+    )
+    start_redis(image)
+    run_redis_phase(
+        image, make_set_payloads(16, 50, keyspace=16), expect_prefix=b"+OK"
+    )
+    return run_redis_phase(
+        image, make_get_payloads(100, 16), expect_prefix=b"$"
+    ).mreq_s
+
+
+def test_isolation_has_a_price_small_buffers():
+    baseline = iperf_mbps("none", FLAT)
+    shared = iperf_mbps("mpk-shared", SPLIT)
+    switched = iperf_mbps("mpk-switched", SPLIT)
+    vm = iperf_mbps("vm-rpc", SPLIT)
+    assert baseline > shared > switched > vm
+
+
+def test_isolation_price_vanishes_at_line_rate():
+    baseline = iperf_mbps("none", FLAT, buffer_size=65536)
+    shared = iperf_mbps("mpk-shared", SPLIT, buffer_size=65536)
+    assert shared / baseline > 0.95
+
+
+def test_sh_costs_concentrate_where_memory_ops_are():
+    groups = [["netstack"], ["sched"], ["libc"], ["alloc", "iperf"]]
+    suite = ("asan", "ubsan", "stackprotector", "cfi")
+
+    def measure(hardened):
+        return iperf_mbps(
+            "none",
+            groups,
+            buffer_size=128,
+            hardening={lib: suite for lib in hardened},
+        )
+
+    base = measure([])
+    assert base / measure(["sched"]) < 1.03
+    assert base / measure(["netstack"]) < 1.2
+    assert base / measure(["libc"]) > 1.8
+
+
+def test_redis_compartment_ladder():
+    base = redis_mreq("none", [["netstack", "sched", "alloc", "libc", "redis"]])
+    nw_only = redis_mreq(
+        "mpk-shared", [["netstack"], ["sched", "alloc", "libc", "redis"]]
+    )
+    nw_sched = redis_mreq(
+        "mpk-shared", [["netstack"], ["sched"], ["alloc", "libc", "redis"]]
+    )
+    assert base > nw_only > nw_sched
+
+
+def test_switched_stacks_cost_more_than_shared():
+    groups = [["netstack"], ["sched"], ["alloc", "libc", "redis"]]
+    shared = redis_mreq("mpk-shared", groups)
+    switched = redis_mreq("mpk-switched", groups)
+    assert shared / switched > 1.3
+
+
+def test_verified_scheduler_cheap_end_to_end():
+    groups = [["netstack"], ["sched", "alloc", "libc", "redis"]]
+    coop = redis_mreq("none", groups)
+    verified = redis_mreq("none", groups, scheduler="verified")
+    assert coop / verified < 1.15
+
+
+def test_global_allocator_amplifies_sh_cost():
+    groups = [["netstack"], ["sched", "alloc", "libc", "redis"]]
+    suite = ("asan", "ubsan", "stackprotector", "cfi")
+    local = redis_mreq("none", groups, hardening={"netstack": suite})
+    global_alloc = redis_mreq(
+        "none",
+        groups,
+        hardening={"netstack": suite},
+        allocator_policy="global",
+    )
+    assert local > global_alloc
+
+
+def test_simulated_clock_is_deterministic():
+    values = {iperf_mbps("mpk-shared", SPLIT) for _ in range(3)}
+    assert len(values) == 1

@@ -1,0 +1,129 @@
+"""Several applications in one image, sharing the substrate.
+
+A FlexOS image is a whole appliance: this exercises Redis, httpd, and
+iperf coexisting on one network stack with distinct trust domains, plus
+the socket lifecycle under that load.
+"""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.apps import (
+    ClosedLoopSource,
+    make_get_payloads,
+    make_set_payloads,
+    populate_files,
+    run_redis_phase,
+    start_httpd,
+    start_redis,
+)
+from repro.libos.net.packet import build_packet
+from repro.machine.faults import GateError
+
+LIBS = ["libc", "netstack", "vfs", "redis", "httpd", "iperf"]
+GROUPS = [
+    ["netstack"],
+    ["vfs"],
+    ["sched", "alloc", "libc", "redis", "httpd", "iperf"],
+]
+
+
+@pytest.fixture
+def image():
+    img = build_image(
+        BuildConfig(libraries=LIBS, compartments=GROUPS, backend="mpk-shared")
+    )
+    populate_files(img, {"/page": b"served-by-httpd"})
+    return img
+
+
+def test_redis_and_httpd_share_one_stack(image):
+    start_redis(image)
+    start_httpd(image)
+    # Interleave the two request streams through one NIC.
+    redis_src = ClosedLoopSource(
+        image.lib("redis").PORT,
+        make_set_payloads(10, 16, keyspace=4) + make_get_payloads(10, 4),
+        window=2,
+    )
+    http_src = ClosedLoopSource(
+        image.lib("httpd").PORT, [b"GET /page\n"] * 10, window=2
+    )
+    turn = [0]
+
+    def interleaved():
+        for _ in range(2):
+            source = (redis_src, http_src)[turn[0] % 2]
+            turn[0] += 1
+            packet = source.source()
+            if packet is not None:
+                return packet
+        return None
+
+    netstack = image.lib("netstack")
+    netstack.nic.rx_source = interleaved
+    netstack.nic.tx_sink = lambda frame: (
+        redis_src.sink(frame)
+        if _dst_is(frame, image.lib("redis").PORT)
+        else http_src.sink(frame)
+    )
+    image.run(
+        until=lambda: redis_src.done and http_src.done, max_switches=200_000
+    )
+    assert redis_src.done and http_src.done
+    assert image.call("redis", "redis_stats")["gets"] == 10
+    assert image.call("httpd", "httpd_stats")["hits"] == 10
+    assert image.lib("redis").value_of(b"key0") == b"v" * 16
+
+
+def _dst_is(frame: bytes, port: int) -> bool:
+    from repro.libos.net.packet import unpack_header
+
+    return unpack_header(frame).src_port == port
+
+
+def test_iperf_after_redis_in_same_image(image):
+    start_redis(image)
+    run_redis_phase(
+        image, make_set_payloads(8, 8, keyspace=8), window=2,
+        expect_prefix=b"+OK",
+    )
+    from repro.apps import run_iperf
+
+    result = run_iperf(image, 1024, 1 << 16)
+    assert result.throughput_mbps > 0
+    # Redis state survives the iperf run.
+    assert image.call("redis", "dbsize") == 8
+
+
+def test_socket_close_releases_port(image):
+    fd = image.call("netstack", "listen", 9999)
+    assert image.call("netstack", "is_listening", 9999)
+    image.call("netstack", "close", fd)
+    assert not image.call("netstack", "is_listening", 9999)
+    # The port can be rebound...
+    again = image.call("netstack", "listen", 9999)
+    assert again != fd
+    # ...and the old fd is dead.
+    with pytest.raises(GateError):
+        image.call("netstack", "close", fd)
+
+
+def test_socket_close_recycles_buffered_mbufs(image):
+    netstack = image.lib("netstack")
+    fd = image.call("netstack", "listen", 9998)
+    queue = [build_packet(9998, b"x" * 500) for _ in range(4)]
+    netstack.nic.rx_source = lambda: queue.pop(0) if queue else None
+    context = image.compartment_of("netstack").make_context("drain")
+    image.machine.cpu.push_context(context)
+    try:
+        for _ in range(50):
+            image.machine.cpu.charge(2000)
+            netstack.rx_process(16)
+            if not queue and netstack.nic.rx_pending == 0:
+                break
+    finally:
+        image.machine.cpu.pop_context()
+    cache_before = len(netstack._mbuf_cache)
+    image.call("netstack", "close", fd)
+    assert len(netstack._mbuf_cache) == cache_before + 4

@@ -1,0 +1,154 @@
+"""Unit and property tests for the first-fit heap allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.libos.alloc.allocator import ALIGNMENT, AllocationError, HeapAllocator
+from repro.machine.machine import Machine
+
+
+@pytest.fixture
+def heap():
+    machine = Machine()
+    space = machine.new_address_space("main")
+    base = space.map_new(64 * 1024)
+    machine.boot_context(space)
+    return HeapAllocator("test", machine, base, 64 * 1024)
+
+
+def test_malloc_returns_aligned_addresses(heap):
+    for size in (1, 7, 16, 100):
+        addr = heap.malloc(size)
+        assert addr % ALIGNMENT == 0
+
+
+def test_malloc_blocks_do_not_overlap(heap):
+    blocks = [(heap.malloc(100), 100) for _ in range(20)]
+    ranges = sorted((addr, addr + heap.block_size(addr)) for addr, _ in blocks)
+    for (_, a_end), (b_start, _) in zip(ranges, ranges[1:]):
+        assert a_end <= b_start
+
+
+def test_free_and_reuse(heap):
+    addr = heap.malloc(1000)
+    heap.free(addr)
+    again = heap.malloc(1000)
+    assert again == addr  # first fit reuses the freed block
+
+
+def test_invalid_free_rejected(heap):
+    with pytest.raises(AllocationError):
+        heap.free(0xDEAD)
+    addr = heap.malloc(10)
+    heap.free(addr)
+    with pytest.raises(AllocationError):
+        heap.free(addr)  # double free
+
+
+def test_zero_and_negative_malloc_rejected(heap):
+    with pytest.raises(ValueError):
+        heap.malloc(0)
+    with pytest.raises(ValueError):
+        heap.malloc(-5)
+
+
+def test_exhaustion(heap):
+    with pytest.raises(AllocationError):
+        heap.malloc(128 * 1024)
+
+
+def test_coalescing_allows_big_allocation_after_frees(heap):
+    # Fill the heap with small blocks, free them all, then allocate one
+    # block nearly the size of the heap: only works if frees coalesce.
+    blocks = [heap.malloc(1024) for _ in range(60)]
+    for addr in blocks:
+        heap.free(addr)
+    big = heap.malloc(60 * 1024)
+    assert heap.owns(big)
+
+
+def test_accounting(heap):
+    a = heap.malloc(100)
+    b = heap.malloc(200)
+    assert heap.live_blocks == 2
+    in_use = heap.bytes_in_use
+    assert in_use >= 300
+    assert heap.bytes_free + in_use == 64 * 1024
+    heap.free(a)
+    heap.free(b)
+    assert heap.bytes_in_use == 0
+    assert heap.total_allocs == 2
+    assert heap.total_frees == 2
+
+
+def test_contains_and_owns(heap):
+    addr = heap.malloc(64)
+    assert heap.contains(addr)
+    assert heap.owns(addr)
+    assert not heap.owns(addr + 1)
+    assert not heap.contains(heap.base - 1)
+
+
+def test_block_size_unknown(heap):
+    with pytest.raises(AllocationError):
+        heap.block_size(12345)
+
+
+def test_malloc_charges_cost(heap):
+    machine = heap.machine
+    before = machine.cpu.clock_ns
+    addr = heap.malloc(10)
+    after_malloc = machine.cpu.clock_ns
+    assert after_malloc == before + machine.cost.alloc_ns
+    heap.free(addr)
+    assert machine.cpu.clock_ns == after_malloc + machine.cost.free_ns
+
+
+def test_invalid_heap_size():
+    machine = Machine()
+    with pytest.raises(ValueError):
+        HeapAllocator("bad", machine, 0, 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(min_value=1, max_value=2048)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+        ),
+        max_size=60,
+    )
+)
+def test_allocator_invariants_under_random_workload(ops):
+    """Invariants: no overlap, accounting exact, free+used == heap size."""
+    machine = Machine()
+    space = machine.new_address_space("main")
+    size = 128 * 1024
+    base = space.map_new(size)
+    machine.boot_context(space)
+    heap = HeapAllocator("prop", machine, base, size)
+    live: list[int] = []
+    for op, value in ops:
+        if op == "malloc":
+            try:
+                live.append(heap.malloc(value))
+            except AllocationError:
+                pass
+        elif live:
+            heap.free(live.pop(value % len(live)))
+    # Accounting invariant.
+    assert heap.bytes_in_use + heap.bytes_free == size
+    assert heap.live_blocks == len(live)
+    # No two live blocks overlap; all inside the heap.
+    ranges = sorted((addr, addr + heap.block_size(addr)) for addr in live)
+    for (a_start, a_end), (b_start, _) in zip(ranges, ranges[1:]):
+        assert a_end <= b_start
+    for start, end in ranges:
+        assert heap.base <= start and end <= heap.base + size
+    # Full cleanup coalesces back to one free region.
+    for addr in live:
+        heap.free(addr)
+    assert heap.bytes_free == size
+    assert heap.malloc(size - ALIGNMENT) is not None

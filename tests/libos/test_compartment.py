@@ -1,0 +1,84 @@
+"""Unit tests for runtime compartments."""
+
+import pytest
+
+from repro.libos.compartment import Compartment
+from repro.machine.address_space import Permissions
+from repro.machine.machine import Machine
+from repro.machine.mpk import pkru_for_keys, pkru_readable, pkru_writable
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+def test_requires_address_space(machine):
+    compartment = Compartment(0, "c0", machine)
+    with pytest.raises(RuntimeError):
+        compartment.alloc_region(64)
+    with pytest.raises(RuntimeError):
+        compartment.make_context()
+    with pytest.raises(RuntimeError):
+        compartment.alloc_stack(4096)
+
+
+def test_alloc_region_uses_own_pkey(machine):
+    space = machine.new_address_space("main")
+    compartment = Compartment(0, "c0", machine)
+    compartment.address_space = space
+    compartment.pkey = 5
+    addr = compartment.alloc_region(64)
+    assert space.entry(addr).pkey == 5
+
+
+def test_alloc_region_defaults_to_key_zero(machine):
+    space = machine.new_address_space("main")
+    compartment = Compartment(0, "flat", machine)
+    compartment.address_space = space
+    addr = compartment.alloc_region(64)
+    assert space.entry(addr).pkey == 0
+
+
+def test_stack_pkey_policy(machine):
+    space = machine.new_address_space("main")
+    compartment = Compartment(0, "c0", machine)
+    compartment.address_space = space
+    compartment.pkey = 3
+    # Switched-stack policy: stacks carry the compartment's key.
+    addr = compartment.alloc_stack(4096)
+    assert space.entry(addr).pkey == 3
+    # Shared-stack policy: stacks carry the global stack key.
+    compartment.stack_pkey = 15
+    addr = compartment.alloc_stack(4096)
+    assert space.entry(addr).pkey == 15
+
+
+def test_make_context_carries_pkru_and_profile(machine):
+    space = machine.new_address_space("main")
+    compartment = Compartment(1, "c1", machine)
+    compartment.address_space = space
+    compartment.pkey = 2
+    compartment.pkru_value = pkru_for_keys(writable=[2, 14])
+    context = compartment.make_context("test")
+    assert context.address_space is space
+    assert pkru_writable(context.pkru, 2)
+    assert pkru_writable(context.pkru, 14)
+    assert not pkru_readable(context.pkru, 3)
+    assert context.profile is compartment.profile
+    assert context.label == "test"
+
+
+def test_context_default_label_is_name(machine):
+    space = machine.new_address_space("main")
+    compartment = Compartment(0, "web", machine)
+    compartment.address_space = space
+    assert compartment.make_context().label == "web"
+
+
+def test_alloc_region_perms(machine):
+    space = machine.new_address_space("main")
+    compartment = Compartment(0, "c0", machine)
+    compartment.address_space = space
+    addr = compartment.alloc_region(64, perms=Permissions.READ)
+    assert space.entry(addr).perms == Permissions.READ

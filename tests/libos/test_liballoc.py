@@ -1,0 +1,86 @@
+"""Unit tests for the alloc micro-library (gated malloc service)."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.machine.faults import GateError
+
+
+@pytest.fixture
+def image():
+    return build_image(
+        BuildConfig(
+            libraries=["libc"],
+            compartments=[["sched", "alloc", "libc"]],
+            backend="none",
+        )
+    )
+
+
+def test_malloc_free_roundtrip(image):
+    addr = image.call("alloc", "malloc", 128)
+    machine = image.machine
+    context = image.compartment_of("alloc").make_context("test")
+    machine.cpu.push_context(context)
+    machine.store(addr, b"hello heap")
+    assert machine.load(addr, 10) == b"hello heap"
+    machine.cpu.pop_context()
+    image.call("alloc", "free", addr)
+
+
+def test_shared_allocations(image):
+    addr = image.call("alloc", "malloc_shared", 64)
+    stats = image.call("alloc", "heap_stats")
+    assert stats["shared_live"] >= 1
+    image.call("alloc", "free_shared", addr)
+
+
+def test_batch_shared_allocations(image):
+    addrs = image.call("alloc", "malloc_shared_many", 256, 8)
+    assert len(addrs) == 8
+    assert len(set(addrs)) == 8
+    image.call("alloc", "free_shared_many", addrs)
+    stats = image.call("alloc", "heap_stats")
+    assert stats["shared_live"] == 0
+
+
+def test_heap_stats_track_private(image):
+    before = image.call("alloc", "heap_stats")
+    addr = image.call("alloc", "malloc", 512)
+    during = image.call("alloc", "heap_stats")
+    assert during["private_in_use"] >= before["private_in_use"] + 512
+    assert during["private_live"] == before["private_live"] + 1
+    image.call("alloc", "free", addr)
+
+
+def test_replicated_allocators_are_per_compartment():
+    image = build_image(
+        BuildConfig(
+            libraries=["libc", "mq"],
+            compartments=[["mq"], ["sched", "alloc", "libc"]],
+            backend="mpk-shared",
+        )
+    )
+    mq_comp = image.compartment_of("mq")
+    libc_comp = image.compartment_of("libc")
+    assert mq_comp.allocator is not libc_comp.allocator
+    # Shared heap is a single instance.
+    assert mq_comp.shared_allocator is libc_comp.shared_allocator
+
+
+def test_unconfigured_heap_raises():
+    from repro.libos.alloc.liballoc import AllocLibrary
+    from repro.libos.compartment import Compartment
+    from repro.libos.library import Linker
+    from repro.machine.machine import Machine
+
+    machine = Machine()
+    space = machine.new_address_space("main")
+    compartment = Compartment(0, "c", machine)
+    compartment.address_space = space
+    lib = AllocLibrary()
+    lib.install(machine, compartment, Linker())
+    with pytest.raises(GateError):
+        lib.malloc(16)
+    with pytest.raises(GateError):
+        lib.malloc_shared(16)

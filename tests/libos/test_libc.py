@@ -1,0 +1,180 @@
+"""Unit tests for the LibC micro-library."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.libos.sched.base import YIELD
+from repro.machine.faults import GateError
+
+
+@pytest.fixture
+def image():
+    return build_image(
+        BuildConfig(
+            libraries=["libc"],
+            compartments=[["sched", "alloc", "libc"]],
+            backend="none",
+        )
+    )
+
+
+@pytest.fixture
+def scratch(image):
+    """A writable scratch buffer + helper to run in libc's context."""
+    addr = image.call("alloc", "malloc", 4096)
+    return image, addr
+
+
+def test_memcpy(scratch):
+    image, addr = scratch
+    machine = image.machine
+    machine.cpu.push_context(image.compartment_of("libc").make_context())
+    try:
+        machine.store(addr, b"source bytes")
+        image.lib("libc").memcpy(addr + 100, addr, 12)
+        assert machine.load(addr + 100, 12) == b"source bytes"
+    finally:
+        machine.cpu.pop_context()
+
+
+def test_memcpy_zero_and_negative(scratch):
+    image, addr = scratch
+    machine = image.machine
+    machine.cpu.push_context(image.compartment_of("libc").make_context())
+    try:
+        assert image.lib("libc").memcpy(addr, addr + 8, 0) == addr
+        with pytest.raises(ValueError):
+            image.lib("libc").memcpy(addr, addr + 8, -1)
+    finally:
+        machine.cpu.pop_context()
+
+
+def test_memset_and_memcmp(scratch):
+    image, addr = scratch
+    libc = image.lib("libc")
+    machine = image.machine
+    machine.cpu.push_context(image.compartment_of("libc").make_context())
+    try:
+        libc.memset(addr, 0xAA, 16)
+        libc.memset(addr + 16, 0xAA, 16)
+        assert libc.memcmp(addr, addr + 16, 16) == 0
+        libc.memset(addr + 16, 0xBB, 1)
+        assert libc.memcmp(addr, addr + 16, 16) < 0
+        assert libc.memcmp(addr + 16, addr, 16) > 0
+        with pytest.raises(ValueError):
+            libc.memset(addr, 0, -2)
+    finally:
+        machine.cpu.pop_context()
+
+
+def test_strlen(scratch):
+    image, addr = scratch
+    libc = image.lib("libc")
+    machine = image.machine
+    machine.cpu.push_context(image.compartment_of("libc").make_context())
+    try:
+        machine.store(addr, b"hello, flexos\x00")
+        assert libc.strlen(addr) == 13
+        machine.store(addr, b"\x00")
+        assert libc.strlen(addr) == 0
+    finally:
+        machine.cpu.pop_context()
+
+
+def test_sem_counting_semantics(image):
+    sem = image.call("libc", "sem_new", 2)
+    assert image.call("libc", "sem_value", sem) == 2
+    image.call("libc", "sem_v", sem)
+    assert image.call("libc", "sem_value", sem) == 3
+
+
+def test_sem_binary_clamps(image):
+    sem = image.call("libc", "sem_new", 0, True)
+    image.call("libc", "sem_v", sem)
+    image.call("libc", "sem_v", sem)
+    image.call("libc", "sem_v", sem)
+    assert image.call("libc", "sem_value", sem) == 1
+
+
+def test_sem_negative_initial_rejected(image):
+    with pytest.raises(ValueError):
+        image.call("libc", "sem_new", -1)
+
+
+def test_unknown_sem_rejected(image):
+    with pytest.raises(GateError):
+        image.call("libc", "sem_v", 999)
+
+
+def test_sem_p_blocks_and_v_wakes(image):
+    libc = image.lib("libc")
+    sem = image.call("libc", "sem_new", 0)
+    log = []
+
+    def waiter():
+        log.append("before")
+        yield from libc.sem_p(sem)
+        log.append("after")
+
+    def signaller():
+        yield YIELD
+        log.append("signal")
+        libc.sem_v(sem)
+        yield YIELD
+
+    image.spawn("waiter", waiter, libc)
+    image.spawn("signaller", signaller, libc)
+    image.run()
+    assert log == ["before", "signal", "after"]
+
+
+def test_sem_p_nonblocking_when_tokens_available(image):
+    libc = image.lib("libc")
+    sem = image.call("libc", "sem_new", 1)
+    done = []
+
+    def body():
+        yield from libc.sem_p(sem)
+        done.append(1)
+
+    image.spawn("t", body, libc)
+    image.run()
+    assert done == [1]
+    assert image.call("libc", "sem_value", sem) == 0
+
+
+def test_sem_waiters_diagnostic(image):
+    libc = image.lib("libc")
+    sem = image.call("libc", "sem_new", 0)
+
+    def body():
+        yield from libc.sem_p(sem)
+
+    image.spawn("w", body, libc)
+    image.run()
+    assert image.call("libc", "sem_waiters", sem) == 1
+    image.call("libc", "sem_v", sem)
+    image.run()
+    assert image.call("libc", "sem_waiters", sem) == 0
+
+
+def test_producer_consumer_ordering(image):
+    """Tokens are handed out FIFO across multiple waiters."""
+    libc = image.lib("libc")
+    sem = image.call("libc", "sem_new", 0)
+    order = []
+
+    def make(tag):
+        def body():
+            yield from libc.sem_p(sem)
+            order.append(tag)
+
+        return body
+
+    for tag in ("first", "second", "third"):
+        image.spawn(tag, make(tag), libc)
+    image.run()
+    for _ in range(3):
+        image.call("libc", "sem_v", sem)
+        image.run()
+    assert order == ["first", "second", "third"]

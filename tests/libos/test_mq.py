@@ -1,0 +1,127 @@
+"""Unit tests for the message-queue micro-library."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.libos.sched.base import YIELD
+from repro.machine.faults import GateError
+
+
+@pytest.fixture
+def image():
+    return build_image(
+        BuildConfig(
+            libraries=["libc", "mq"],
+            compartments=[["sched", "alloc", "libc", "mq"]],
+            backend="none",
+        )
+    )
+
+
+def test_q_new_validates_capacity(image):
+    with pytest.raises(ValueError):
+        image.call("mq", "q_new", 0)
+    qid = image.call("mq", "q_new", 4)
+    assert image.call("mq", "q_len", qid) == 0
+
+
+def test_unknown_queue(image):
+    with pytest.raises(GateError):
+        image.call("mq", "q_len", 42)
+
+
+def test_push_pop_fifo(image):
+    qid = image.call("mq", "q_new", 8)
+    mq = image.lib("mq")
+    popped = []
+
+    def producer():
+        for index in range(4):
+            yield from mq.q_push(qid, 0x1000 + index, index)
+
+    def consumer():
+        for _ in range(4):
+            item = yield from mq.q_pop(qid)
+            popped.append(item)
+
+    image.spawn("producer", producer, mq)
+    image.spawn("consumer", consumer, mq)
+    image.run()
+    assert popped == [(0x1000 + i, i) for i in range(4)]
+
+
+def test_pop_blocks_until_push(image):
+    qid = image.call("mq", "q_new", 2)
+    mq = image.lib("mq")
+    log = []
+
+    def consumer():
+        item = yield from mq.q_pop(qid)
+        log.append(("got", item))
+
+    def producer():
+        yield YIELD
+        log.append(("push",))
+        yield from mq.q_push(qid, 0xAA, 1)
+
+    image.spawn("consumer", consumer, mq)
+    image.spawn("producer", producer, mq)
+    image.run()
+    assert log == [("push",), ("got", (0xAA, 1))]
+
+
+def test_push_blocks_when_full(image):
+    qid = image.call("mq", "q_new", 1)
+    mq = image.lib("mq")
+    log = []
+
+    def producer():
+        yield from mq.q_push(qid, 1, 1)
+        log.append("pushed-1")
+        yield from mq.q_push(qid, 2, 2)  # blocks: capacity 1
+        log.append("pushed-2")
+
+    def consumer():
+        yield YIELD
+        item = yield from mq.q_pop(qid)
+        log.append(f"popped-{item[0]}")
+
+    image.spawn("producer", producer, mq)
+    image.spawn("consumer", consumer, mq)
+    image.run()
+    assert log == ["pushed-1", "popped-1", "pushed-2"]
+    assert image.call("mq", "q_len", qid) == 1
+
+
+def test_mq_across_mpk_compartments():
+    """Descriptors flow across an MPK boundary; payload in shared heap."""
+    image = build_image(
+        BuildConfig(
+            libraries=["libc", "mq"],
+            compartments=[["mq"], ["sched", "alloc", "libc"]],
+            backend="mpk-shared",
+        )
+    )
+    qid = image.call("mq", "q_new", 4)
+    libc = image.lib("libc")
+    payload_addr = image.call("alloc", "malloc_shared", 64)
+    machine = image.machine
+    machine.cpu.push_context(image.compartment_of("libc").make_context())
+    machine.store(payload_addr, b"cross-domain message")
+    machine.cpu.pop_context()
+    received = []
+
+    def producer():
+        stub = libc.stub("mq")
+        yield from stub.call_gen("q_push", qid, payload_addr, 20)
+
+    def consumer():
+        stub = libc.stub("mq")
+        addr, length = yield from stub.call_gen("q_pop", qid)
+        data = image.machine.load(addr, length)
+        received.append(data)
+
+    image.spawn("producer", producer, libc)
+    image.spawn("consumer", consumer, libc)
+    image.run()
+    assert received == [b"cross-domain message"]

@@ -1,0 +1,93 @@
+"""Unit and property tests for the packet wire format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.libos.net.packet import (
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_SYN,
+    HEADER_SIZE,
+    MSS,
+    MTU,
+    Header,
+    build_packet,
+    pack_header,
+    segment_payload,
+    unpack_header,
+)
+
+
+def test_header_constants():
+    assert HEADER_SIZE == 16
+    assert MSS == MTU - HEADER_SIZE
+
+
+def test_pack_unpack_roundtrip():
+    header = Header(1234, 80, 0xDEADBEEF, 42, 999, FLAG_PSH | FLAG_SYN)
+    parsed = unpack_header(pack_header(header))
+    assert parsed == header
+    assert parsed.is_syn
+    assert not parsed.is_fin
+
+
+def test_fin_flag():
+    header = Header(1, 2, 0, 0, 0, FLAG_FIN)
+    assert unpack_header(pack_header(header)).is_fin
+
+
+def test_short_header_rejected():
+    with pytest.raises(ValueError):
+        unpack_header(b"short")
+
+
+def test_seq_wraps_at_32_bits():
+    header = Header(1, 2, 2**32 + 5, 2**33 + 7, 0)
+    parsed = unpack_header(pack_header(header))
+    assert parsed.seq == 5
+    assert parsed.ack == 7
+
+
+def test_build_packet():
+    packet = build_packet(8080, b"payload", src_port=1000, seq=3)
+    header = unpack_header(packet)
+    assert header.dst_port == 8080
+    assert header.src_port == 1000
+    assert header.seq == 3
+    assert header.length == 7
+    assert packet[HEADER_SIZE:] == b"payload"
+
+
+def test_build_packet_oversized_rejected():
+    with pytest.raises(ValueError):
+        build_packet(80, b"x" * (MSS + 1))
+
+
+def test_segment_payload_covers_stream():
+    stream = bytes(range(256)) * 20  # 5120 bytes
+    packets = segment_payload(80, stream)
+    assert len(packets) == -(-len(stream) // MSS)
+    reassembled = b"".join(p[HEADER_SIZE:] for p in packets)
+    assert reassembled == stream
+    # Sequence numbers advance by payload length.
+    seqs = [unpack_header(p).seq for p in packets]
+    lengths = [unpack_header(p).length for p in packets]
+    for i in range(1, len(packets)):
+        assert seqs[i] == seqs[i - 1] + lengths[i - 1]
+
+
+@given(payload=st.binary(max_size=MSS), port=st.integers(1, 65535))
+def test_build_packet_roundtrip_property(payload, port):
+    packet = build_packet(port, payload)
+    header = unpack_header(packet)
+    assert header.dst_port == port
+    assert header.length == len(payload)
+    assert packet[HEADER_SIZE : HEADER_SIZE + header.length] == payload
+
+
+@given(stream=st.binary(min_size=1, max_size=4 * MSS + 17))
+def test_segmentation_property(stream):
+    packets = segment_payload(99, stream)
+    assert all(len(p) <= MTU for p in packets)
+    assert b"".join(p[HEADER_SIZE:] for p in packets) == stream

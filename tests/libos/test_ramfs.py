@@ -1,0 +1,195 @@
+"""Unit tests for the ramfs/vfs micro-library."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.libos.fs.ramfs import (
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+)
+from repro.machine.faults import GateError
+
+
+@pytest.fixture
+def image():
+    return build_image(
+        BuildConfig(
+            libraries=["libc", "vfs"],
+            compartments=[["sched", "alloc", "libc", "vfs"]],
+            backend="none",
+        )
+    )
+
+
+@pytest.fixture
+def shared_buf(image):
+    return image.call("alloc", "malloc_shared", 8192)
+
+
+def put(image, addr, data):
+    space = image.compartments[0].address_space
+    image.machine.dma_write(space, addr, data)
+
+
+def get(image, addr, n):
+    space = image.compartments[0].address_space
+    return image.machine.dma_read(space, addr, n)
+
+
+def test_create_write_read_roundtrip(image, shared_buf):
+    fd = image.call("vfs", "open", "/data", O_WRONLY | O_CREAT)
+    put(image, shared_buf, b"hello filesystem")
+    assert image.call("vfs", "write", fd, shared_buf, 16) == 16
+    image.call("vfs", "close", fd)
+
+    fd = image.call("vfs", "open", "/data", O_RDONLY)
+    put(image, shared_buf, b"\x00" * 16)
+    assert image.call("vfs", "read", fd, shared_buf, 64) == 16
+    assert get(image, shared_buf, 16) == b"hello filesystem"
+    image.call("vfs", "close", fd)
+
+
+def test_open_missing_without_creat(image):
+    with pytest.raises(GateError, match="no such file"):
+        image.call("vfs", "open", "/ghost", O_RDONLY)
+
+
+def test_write_readonly_fd_rejected(image, shared_buf):
+    image.call("vfs", "open", "/f", O_WRONLY | O_CREAT)
+    fd = image.call("vfs", "open", "/f", O_RDONLY)
+    with pytest.raises(GateError, match="not open for writing"):
+        image.call("vfs", "write", fd, shared_buf, 4)
+
+
+def test_read_writeonly_fd_rejected(image, shared_buf):
+    fd = image.call("vfs", "open", "/f", O_WRONLY | O_CREAT)
+    with pytest.raises(GateError, match="not open for reading"):
+        image.call("vfs", "read", fd, shared_buf, 4)
+
+
+def test_trunc_resets_content(image, shared_buf):
+    fd = image.call("vfs", "open", "/t", O_WRONLY | O_CREAT)
+    put(image, shared_buf, b"old content")
+    image.call("vfs", "write", fd, shared_buf, 11)
+    image.call("vfs", "close", fd)
+    fd = image.call("vfs", "open", "/t", O_WRONLY | O_TRUNC)
+    image.call("vfs", "close", fd)
+    assert image.call("vfs", "stat", "/t")["size"] == 0
+
+
+def test_append_mode(image, shared_buf):
+    fd = image.call("vfs", "open", "/log", O_WRONLY | O_CREAT)
+    put(image, shared_buf, b"first ")
+    image.call("vfs", "write", fd, shared_buf, 6)
+    image.call("vfs", "close", fd)
+    fd = image.call("vfs", "open", "/log", O_WRONLY | O_APPEND)
+    put(image, shared_buf, b"second")
+    image.call("vfs", "write", fd, shared_buf, 6)
+    image.call("vfs", "close", fd)
+    fd = image.call("vfs", "open", "/log", O_RDONLY)
+    image.call("vfs", "read", fd, shared_buf, 12)
+    assert get(image, shared_buf, 12) == b"first second"
+
+
+def test_lseek_all_whences(image, shared_buf):
+    fd = image.call("vfs", "open", "/s", O_RDWR | O_CREAT)
+    put(image, shared_buf, b"0123456789")
+    image.call("vfs", "write", fd, shared_buf, 10)
+    assert image.call("vfs", "lseek", fd, 2, SEEK_SET) == 2
+    assert image.call("vfs", "lseek", fd, 3, SEEK_CUR) == 5
+    assert image.call("vfs", "lseek", fd, -1, SEEK_END) == 9
+    image.call("vfs", "read", fd, shared_buf, 4)
+    assert get(image, shared_buf, 1) == b"9"
+    with pytest.raises(ValueError):
+        image.call("vfs", "lseek", fd, -100, SEEK_SET)
+    with pytest.raises(ValueError):
+        image.call("vfs", "lseek", fd, 0, 9)
+
+
+def test_large_file_spans_blocks(image, shared_buf):
+    data = bytes(range(256)) * 24  # 6144 bytes > one block
+    fd = image.call("vfs", "open", "/big", O_RDWR | O_CREAT)
+    put(image, shared_buf, data)
+    image.call("vfs", "write", fd, shared_buf, len(data))
+    assert image.call("vfs", "fstat", fd)["blocks"] == 2
+    image.call("vfs", "lseek", fd, 0, SEEK_SET)
+    put(image, shared_buf, b"\x00" * len(data))
+    assert image.call("vfs", "read", fd, shared_buf, len(data)) == len(data)
+    assert get(image, shared_buf, len(data)) == data
+
+
+def test_sparse_overwrite_mid_file(image, shared_buf):
+    fd = image.call("vfs", "open", "/m", O_RDWR | O_CREAT)
+    put(image, shared_buf, b"AAAAAAAAAA")
+    image.call("vfs", "write", fd, shared_buf, 10)
+    image.call("vfs", "lseek", fd, 4, SEEK_SET)
+    put(image, shared_buf, b"BB")
+    image.call("vfs", "write", fd, shared_buf, 2)
+    image.call("vfs", "lseek", fd, 0, SEEK_SET)
+    image.call("vfs", "read", fd, shared_buf, 10)
+    assert get(image, shared_buf, 10) == b"AAAABBAAAA"
+    assert image.call("vfs", "fstat", fd)["size"] == 10
+
+
+def test_unlink_frees_blocks(image, shared_buf):
+    before = image.compartments[0].allocator.bytes_in_use
+    fd = image.call("vfs", "open", "/tmp", O_WRONLY | O_CREAT)
+    put(image, shared_buf, b"x" * 100)
+    image.call("vfs", "write", fd, shared_buf, 100)
+    image.call("vfs", "close", fd)
+    image.call("vfs", "unlink", "/tmp")
+    assert image.compartments[0].allocator.bytes_in_use == before
+    with pytest.raises(GateError):
+        image.call("vfs", "unlink", "/tmp")
+    with pytest.raises(GateError):
+        image.call("vfs", "stat", "/tmp")
+
+
+def test_listdir_and_stats(image, shared_buf):
+    image.call("vfs", "open", "/b", O_CREAT)
+    image.call("vfs", "open", "/a", O_CREAT)
+    assert image.call("vfs", "listdir") == ["/a", "/b"]
+    stats = image.call("vfs", "fs_stats")
+    assert stats["files"] == 2
+    assert stats["open_fds"] == 2
+
+
+def test_bad_fd(image, shared_buf):
+    with pytest.raises(GateError):
+        image.call("vfs", "read", 99, shared_buf, 4)
+    with pytest.raises(GateError):
+        image.call("vfs", "close", 99)
+
+
+def test_vfs_across_mpk_boundary():
+    """File I/O from another compartment via gates + shared staging."""
+    image = build_image(
+        BuildConfig(
+            libraries=["libc", "vfs", "mq"],
+            compartments=[["vfs"], ["sched", "alloc", "libc", "mq"]],
+            backend="mpk-shared",
+        )
+    )
+    mq = image.lib("mq")
+    buf = image.call("alloc", "malloc_shared", 256)
+    machine = image.machine
+    machine.cpu.push_context(image.compartment_of("mq").make_context())
+    try:
+        machine.store(buf, b"written across a pkey boundary")
+        stub = mq.stub("vfs")
+        fd = stub.call("open", "/x", O_WRONLY | O_CREAT)
+        stub.call("write", fd, buf, 30)
+        stub.call("close", fd)
+        fd = stub.call("open", "/x", O_RDONLY)
+        machine.store(buf, b"\x00" * 30)
+        assert stub.call("read", fd, buf, 64) == 30
+        assert machine.load(buf, 30) == b"written across a pkey boundary"
+    finally:
+        machine.cpu.pop_context()

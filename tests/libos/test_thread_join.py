@@ -1,0 +1,143 @@
+"""thread_join and the image memory report."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.libos.sched.base import YIELD
+
+
+@pytest.fixture
+def image():
+    return build_image(
+        BuildConfig(
+            libraries=["libc"],
+            compartments=[["sched", "alloc", "libc"]],
+            backend="none",
+        )
+    )
+
+
+def test_join_waits_for_completion(image):
+    libc = image.lib("libc")
+    order = []
+
+    def worker():
+        for step in range(3):
+            order.append(f"work{step}")
+            yield YIELD
+
+    worker_thread = image.spawn("worker", worker, libc)
+
+    def joiner():
+        yield from image.scheduler.thread_join(worker_thread.tid)
+        order.append("joined")
+
+    image.spawn("joiner", joiner, libc)
+    image.run()
+    assert order == ["work0", "work1", "work2", "joined"]
+
+
+def test_join_finished_thread_returns_immediately(image):
+    libc = image.lib("libc")
+
+    def quick():
+        yield YIELD
+
+    thread = image.spawn("quick", quick, libc)
+    image.run()
+    assert thread.done
+    done = []
+
+    def joiner():
+        result = yield from image.scheduler.thread_join(thread.tid)
+        done.append(result)
+
+    image.spawn("joiner", joiner, libc)
+    image.run()
+    assert done == [True]
+
+
+def test_multiple_joiners_all_wake(image):
+    libc = image.lib("libc")
+
+    def worker():
+        yield YIELD
+        yield YIELD
+
+    worker_thread = image.spawn("worker", worker, libc)
+    joined = []
+
+    def make_joiner(tag):
+        def body():
+            yield from image.scheduler.thread_join(worker_thread.tid)
+            joined.append(tag)
+
+        return body
+
+    for tag in ("a", "b", "c"):
+        image.spawn(tag, make_joiner(tag), libc)
+    image.run()
+    assert sorted(joined) == ["a", "b", "c"]
+
+
+def test_join_through_gate(image):
+    """thread_join is a blocking export usable across compartments."""
+    split = build_image(
+        BuildConfig(
+            libraries=["libc", "mq"],
+            compartments=[["mq"], ["sched", "alloc", "libc"]],
+            backend="mpk-shared",
+        )
+    )
+    mq = split.lib("mq")
+    libc = split.lib("libc")
+
+    def worker():
+        yield YIELD
+
+    worker_thread = split.spawn("worker", worker, libc)
+    done = []
+
+    def joiner():
+        stub = mq.stub("sched")
+        result = yield from stub.call_gen("thread_join", worker_thread.tid)
+        done.append(result)
+
+    split.spawn("joiner", joiner, mq)
+    split.run()
+    assert done == [True]
+
+
+def test_killed_thread_wakes_joiners(image):
+    libc = image.lib("libc")
+
+    def forever():
+        while True:
+            yield YIELD
+
+    victim = image.spawn("victim", forever, libc)
+    joined = []
+
+    def joiner():
+        yield from image.scheduler.thread_join(victim.tid)
+        joined.append(1)
+
+    image.spawn("joiner", joiner, libc)
+    image.run(max_switches=10)
+    image.scheduler.kill_thread(victim)
+    image.run()
+    assert joined == [1]
+
+
+def test_memory_report(image):
+    rows = image.memory_report()
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["owned_bytes"] > 0  # static regions + heap + stacks
+    before = row["heap_in_use"]
+    image.call("alloc", "malloc", 512)
+    after = image.memory_report()[0]
+    assert after["heap_in_use"] >= before + 512
+    assert after["heap_live_blocks"] >= 1
+    image.call("alloc", "malloc_shared", 256)
+    assert image.memory_report()[0]["shared_in_use"] >= 256

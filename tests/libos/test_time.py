@@ -1,0 +1,153 @@
+"""The time micro-library and scheduler timers."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.libos.sched.base import YIELD, WaitQueue
+
+
+@pytest.fixture
+def image():
+    return build_image(
+        BuildConfig(
+            libraries=["libc", "time"],
+            compartments=[["sched", "alloc", "libc", "time"]],
+            backend="none",
+        )
+    )
+
+
+def test_now_advances_with_work(image):
+    first = image.call("time", "now_ns")
+    image.machine.cpu.charge(500)
+    second = image.call("time", "now_ns")
+    assert second >= first + 500
+
+
+def test_sleep_advances_clock_ticklessly(image):
+    time_lib = image.lib("time")
+    wakeups = []
+
+    def body():
+        start = time_lib.now_ns()
+        yield from time_lib.sleep_ns(10_000)
+        wakeups.append(time_lib.now_ns() - start)
+
+    image.spawn("sleeper", body, time_lib)
+    image.run()
+    assert len(wakeups) == 1
+    assert wakeups[0] >= 10_000
+    # Tickless: no busy-wait, so the overshoot is small.
+    assert wakeups[0] < 10_000 + 2_000
+
+
+def test_multiple_sleepers_wake_in_deadline_order(image):
+    time_lib = image.lib("time")
+    order = []
+
+    def make(tag, duration):
+        def body():
+            yield from time_lib.sleep_ns(duration)
+            order.append(tag)
+
+        return body
+
+    image.spawn("late", make("late", 30_000), time_lib)
+    image.spawn("early", make("early", 5_000), time_lib)
+    image.spawn("mid", make("mid", 12_000), time_lib)
+    image.run()
+    assert order == ["early", "mid", "late"]
+
+
+def test_sleep_zero_is_immediate(image):
+    time_lib = image.lib("time")
+    done = []
+
+    def body():
+        yield from time_lib.sleep_ns(0)
+        done.append(1)
+
+    image.spawn("instant", body, time_lib)
+    image.run()
+    assert done == [1]
+    assert image.scheduler.pending_timers == 0
+
+
+def test_negative_sleep_rejected(image):
+    time_lib = image.lib("time")
+
+    def body():
+        yield from time_lib.sleep_ns(-1)
+
+    image.spawn("bad", body, time_lib)
+    with pytest.raises(ValueError):
+        image.run()
+
+
+def test_sleepers_coexist_with_busy_threads(image):
+    """A busy thread advances the clock; the timer fires mid-workload
+    without idle advancement."""
+    time_lib = image.lib("time")
+    events = []
+
+    def sleeper():
+        yield from time_lib.sleep_ns(2_000)
+        events.append("woke")
+
+    def busy():
+        for _ in range(100):
+            image.machine.cpu.charge(100)
+            yield YIELD
+        events.append("busy-done")
+
+    image.spawn("sleeper", sleeper, time_lib)
+    image.spawn("busy", busy, time_lib)
+    image.run()
+    assert events.index("woke") < events.index("busy-done")
+
+
+def test_timer_register_direct(image):
+    waitq = WaitQueue("manual")
+    fired = []
+
+    def body():
+        from repro.libos.sched.base import Block
+
+        yield Block(waitq)
+        fired.append(1)
+
+    image.spawn("waiter", body, image.lib("libc"))
+    image.run(max_switches=5)
+    image.scheduler.timer_register(image.clock_ns + 100, waitq)
+    assert image.scheduler.pending_timers == 1
+    image.run()
+    assert fired == [1]
+    assert image.scheduler.pending_timers == 0
+
+
+def test_run_returns_when_only_past_timers(image):
+    waitq = WaitQueue("past")
+    image.scheduler.timer_register(0.0, waitq)  # already due, no waiters
+    assert image.run() == 0
+    assert image.scheduler.pending_timers == 0
+
+
+def test_verified_scheduler_also_supports_timers():
+    image = build_image(
+        BuildConfig(
+            libraries=["libc", "time"],
+            compartments=[["sched", "alloc", "libc", "time"]],
+            backend="none",
+            scheduler="verified",
+        )
+    )
+    time_lib = image.lib("time")
+    done = []
+
+    def body():
+        yield from time_lib.sleep_ns(1_000)
+        done.append(1)
+
+    image.spawn("sleeper", body, time_lib)
+    image.run()
+    assert done == [1]

@@ -1,0 +1,112 @@
+"""Timed waits: sem_p_timeout and recv_timeout."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.apps.workload import IperfSource, _wait_for_listener
+from repro.libos.sched.base import YIELD
+
+
+@pytest.fixture
+def image():
+    return build_image(
+        BuildConfig(
+            libraries=["libc", "netstack", "time"],
+            compartments=[["sched", "alloc", "libc", "netstack", "time"]],
+            backend="none",
+        )
+    )
+
+
+def test_sem_p_timeout_times_out(image):
+    libc = image.lib("libc")
+    sem = image.call("libc", "sem_new", 0)
+    results = []
+
+    def body():
+        start = image.clock_ns
+        acquired = yield from libc.sem_p_timeout(sem, image.clock_ns + 5_000)
+        results.append((acquired, image.clock_ns - start))
+
+    image.spawn("waiter", body, libc)
+    image.run(until=lambda: bool(results), max_switches=100_000)
+    acquired, waited = results[0]
+    assert acquired is False
+    assert waited >= 5_000
+
+
+def test_sem_p_timeout_acquires_before_deadline(image):
+    libc = image.lib("libc")
+    sem = image.call("libc", "sem_new", 0)
+    results = []
+
+    def waiter():
+        acquired = yield from libc.sem_p_timeout(sem, image.clock_ns + 1e9)
+        results.append(acquired)
+
+    def poster():
+        yield YIELD
+        libc.sem_v(sem)
+
+    image.spawn("waiter", waiter, libc)
+    image.spawn("poster", poster, libc)
+    image.run(until=lambda: bool(results), max_switches=100_000)
+    assert results == [True]
+
+
+def test_sem_p_timeout_fast_path_with_token(image):
+    libc = image.lib("libc")
+    sem = image.call("libc", "sem_new", 1)
+    results = []
+
+    def body():
+        acquired = yield from libc.sem_p_timeout(sem, 0.0)
+        results.append(acquired)
+
+    image.spawn("t", body, libc)
+    image.run(until=lambda: bool(results), max_switches=100_000)
+    assert results == [True]
+
+
+def test_recv_timeout_expires_on_quiet_socket(image):
+    netstack = image.lib("netstack")
+    buf = image.call("alloc", "malloc_shared", 256)
+    results = []
+
+    def body():
+        fd = netstack.listen(7000)
+        count = yield from netstack.recv_timeout(fd, buf, 256, 20_000)
+        results.append(count)
+
+    image.spawn("server", body, netstack)
+    image.run(until=lambda: bool(results), max_switches=200_000)
+    assert results == [-1]
+
+
+def test_recv_timeout_returns_data_when_available(image):
+    netstack = image.lib("netstack")
+    buf = image.call("alloc", "malloc_shared", 2048)
+    results = []
+
+    def body():
+        fd = netstack.listen(7001)
+        count = yield from netstack.recv_timeout(fd, buf, 2048, 1e9)
+        results.append(count)
+
+    image.spawn("server", body, netstack)
+    _wait_for_listener(image, 7001)
+    netstack.nic.rx_source = IperfSource(7001, 1000)
+    image.run(until=lambda: bool(results), max_switches=10_000)
+    assert results and results[0] == 1000
+
+
+def test_recv_timeout_validates_arguments(image):
+    netstack = image.lib("netstack")
+    fd = image.call("netstack", "listen", 7002)
+
+    def bad_size():
+        yield from netstack.recv_timeout(fd, 0, 0, 100)
+
+    image.spawn("bad", bad_size, netstack)
+    with pytest.raises(ValueError):
+        image.run(max_switches=1000)

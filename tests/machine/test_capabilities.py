@@ -1,0 +1,75 @@
+"""Unit tests for CHERI-style capability sets."""
+
+import pytest
+
+from repro.machine.capabilities import CapabilitySet, base_capabilities
+from repro.machine.faults import ProtectionFault
+
+
+@pytest.fixture
+def caps():
+    return CapabilitySet(
+        "test", base_ranges=[(0x1000, 0x2000)], shared_ranges=[(0x9000, 0xA000)]
+    )
+
+
+def test_base_range_access(caps):
+    caps.check(0x1000, 16, "load")
+    caps.check(0x1FF0, 16, "store")
+    with pytest.raises(ProtectionFault):
+        caps.check(0x2000, 1, "load")
+    with pytest.raises(ProtectionFault):
+        caps.check(0x1FF0, 17, "store")  # straddles the end
+
+
+def test_shared_range_access(caps):
+    caps.check(0x9000, 64, "store")
+    with pytest.raises(ProtectionFault):
+        caps.check(0x8FFF, 2, "load")
+
+
+def test_grants_extend_reach(caps):
+    with pytest.raises(ProtectionFault):
+        caps.check(0x5000, 8, "load")
+    caps.grant(0x5000, 64)
+    caps.check(0x5000, 64, "load")
+    caps.check(0x5000, 64, "store")
+    with pytest.raises(ProtectionFault):
+        caps.check(0x5040, 1, "load")  # beyond the grant
+
+
+def test_readonly_grant(caps):
+    caps.grant(0x5000, 64, writable=False)
+    caps.check(0x5000, 8, "load")
+    with pytest.raises(ProtectionFault):
+        caps.check(0x5000, 8, "store")
+
+
+def test_zero_size_grant_ignored(caps):
+    caps.grant(0x5000, 0)
+    with pytest.raises(ProtectionFault):
+        caps.check(0x5000, 1, "load")
+
+
+def test_derive_isolates_grants(caps):
+    derived = caps.derive()
+    derived.grant(0x5000, 64)
+    derived.check(0x5000, 8, "load")
+    with pytest.raises(ProtectionFault):
+        caps.check(0x5000, 8, "load")  # original unchanged
+    # Base ranges stay shared (live list reference).
+    caps.base_ranges.append((0x7000, 0x7100))
+    derived.check(0x7000, 16, "load")
+
+
+def test_base_capabilities_track_compartment_growth():
+    from repro.libos.compartment import Compartment
+    from repro.machine.machine import Machine
+
+    machine = Machine()
+    space = machine.new_address_space("main")
+    compartment = Compartment(0, "c", machine)
+    compartment.address_space = space
+    caps = base_capabilities(compartment, [])
+    addr = compartment.alloc_region(64)  # mapped after the set existed
+    caps.check(addr, 16, "store")

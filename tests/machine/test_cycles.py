@@ -1,0 +1,69 @@
+"""Cost-model sanity tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine.cycles import DEFAULT_COST_MODEL, PAPER_CLOCK_GHZ, CostModel
+
+
+def test_defaults_match_paper_anchors():
+    cost = CostModel()
+    # The two measured anchors the paper states outright.
+    assert cost.ctx_switch_ns == 76.6
+    # Verified switch: base + 8 contract clauses = 218.6 (paper).
+    assert cost.ctx_switch_ns + 8 * cost.contract_check_ns == pytest.approx(
+        218.6
+    )
+    assert PAPER_CLOCK_GHZ == 2.1
+
+
+def test_all_costs_positive():
+    cost = CostModel()
+    for field in dataclasses.fields(CostModel):
+        assert getattr(cost, field.name) > 0, field.name
+
+
+def test_relative_cost_ladder():
+    """The hardware cost ordering every figure depends on."""
+    cost = CostModel()
+    assert cost.call_ns < cost.cheri_crossing_ns
+    assert cost.cheri_crossing_ns < cost.wrpkru_ns + cost.gate_dispatch_ns
+    assert cost.wrpkru_ns < cost.stack_switch_ns + cost.wrpkru_ns
+    assert cost.stack_switch_ns < cost.vm_notify_ns
+    assert cost.vm_notify_ns > 100 * cost.wrpkru_ns / 2  # µs vs tens of ns
+
+
+def test_scaled_scales_every_field():
+    cost = CostModel()
+    doubled = cost.scaled(2.0)
+    for field in dataclasses.fields(CostModel):
+        assert getattr(doubled, field.name) == pytest.approx(
+            2.0 * getattr(cost, field.name)
+        )
+
+
+def test_replace_is_partial_and_pure():
+    cost = CostModel()
+    tweaked = cost.replace(vm_notify_ns=1.0)
+    assert tweaked.vm_notify_ns == 1.0
+    assert tweaked.mem_op_ns == cost.mem_op_ns
+    assert cost.vm_notify_ns != 1.0  # original untouched
+
+
+def test_default_model_singleton_is_a_costmodel():
+    assert isinstance(DEFAULT_COST_MODEL, CostModel)
+
+
+def test_sh_factors_above_one():
+    cost = CostModel()
+    assert cost.asan_mem_factor > 1
+    assert cost.dfi_store_factor > 1
+    assert cost.ubsan_mem_factor > 1
+
+
+def test_wire_slower_than_memcpy():
+    """The line rate must sit below streaming-copy bandwidth, or large
+    transfers could never be wire-bound (Fig. 3's convergence)."""
+    cost = CostModel()
+    assert cost.wire_byte_ns > 2 * cost.mem_byte_ns

@@ -1,0 +1,53 @@
+"""EPT/VM-domain edge cases."""
+
+import pytest
+
+from repro.machine.ept import SharedWindowAllocator, VMDomain
+from repro.machine.memory import PAGE_SIZE, PhysicalMemory
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(256 * PAGE_SIZE)
+
+
+def test_shared_window_requires_domains(phys):
+    allocator = SharedWindowAllocator(phys)
+    with pytest.raises(ValueError, match="at least one domain"):
+        allocator.map_shared([], PAGE_SIZE)
+
+
+def test_shared_windows_are_disjoint(phys):
+    allocator = SharedWindowAllocator(phys)
+    domain = VMDomain(0, "a", phys)
+    first = allocator.map_shared([domain], 2 * PAGE_SIZE)
+    second = allocator.map_shared([domain], PAGE_SIZE)
+    assert second >= first + 2 * PAGE_SIZE
+    assert domain.shared_windows == [
+        (first, 2 * PAGE_SIZE),
+        (second, PAGE_SIZE),
+    ]
+
+
+def test_shared_window_range_exhaustion(phys):
+    allocator = SharedWindowAllocator(phys)
+    allocator._next_va = SharedWindowAllocator.SHARED_LIMIT - PAGE_SIZE
+    domain = VMDomain(0, "a", phys)
+    allocator.map_shared([domain], PAGE_SIZE)
+    with pytest.raises(ValueError, match="exhausted"):
+        allocator.map_shared([domain], PAGE_SIZE)
+
+
+def test_window_content_shared_between_domains(phys):
+    allocator = SharedWindowAllocator(phys)
+    domain_a = VMDomain(0, "a", phys)
+    domain_b = VMDomain(1, "b", phys)
+    vaddr = allocator.map_shared([domain_a, domain_b], PAGE_SIZE)
+    phys.write(domain_a.space.translate(vaddr), b"both see this")
+    assert phys.read(domain_b.space.translate(vaddr), 13) == b"both see this"
+
+
+def test_private_reservations_below_shared_range(phys):
+    domain = VMDomain(0, "a", phys)
+    private = domain.space.map_new(PAGE_SIZE)
+    assert private < SharedWindowAllocator.SHARED_BASE

@@ -1,0 +1,56 @@
+"""Unit tests for MPK/PKRU semantics."""
+
+import pytest
+
+from repro.machine.mpk import (
+    MPK_NUM_KEYS,
+    describe_pkru,
+    pkru_all_access,
+    pkru_deny_all,
+    pkru_for_keys,
+    pkru_readable,
+    pkru_writable,
+)
+
+
+def test_all_access_allows_everything():
+    pkru = pkru_all_access()
+    for key in range(MPK_NUM_KEYS):
+        assert pkru_readable(pkru, key)
+        assert pkru_writable(pkru, key)
+
+
+def test_deny_all_blocks_everything():
+    pkru = pkru_deny_all()
+    for key in range(MPK_NUM_KEYS):
+        assert not pkru_readable(pkru, key)
+        assert not pkru_writable(pkru, key)
+
+
+def test_for_keys_writable_and_readable():
+    pkru = pkru_for_keys(writable=[1, 2], readable=[3])
+    assert pkru_writable(pkru, 1)
+    assert pkru_writable(pkru, 2)
+    assert pkru_readable(pkru, 3)
+    assert not pkru_writable(pkru, 3)
+    assert not pkru_readable(pkru, 4)
+    assert not pkru_writable(pkru, 0)
+
+
+def test_writable_implies_readable():
+    pkru = pkru_for_keys(writable=[5])
+    assert pkru_readable(pkru, 5)
+
+
+def test_invalid_key_rejected():
+    with pytest.raises(ValueError):
+        pkru_readable(0, MPK_NUM_KEYS)
+    with pytest.raises(ValueError):
+        pkru_writable(0, -1)
+    with pytest.raises(ValueError):
+        pkru_for_keys(writable=[16])
+
+
+def test_describe_pkru():
+    text = describe_pkru(pkru_for_keys(writable=[0], readable=[1]))
+    assert text.startswith("0:rw 1:r- 2:--")

@@ -1,0 +1,86 @@
+"""Property-based tests (hypothesis) for machine-layer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Machine, Permissions
+from repro.machine.memory import PAGE_SIZE, PhysicalMemory, page_align_up
+from repro.machine.mpk import (
+    MPK_NUM_KEYS,
+    pkru_for_keys,
+    pkru_readable,
+    pkru_writable,
+)
+
+keys = st.integers(min_value=0, max_value=MPK_NUM_KEYS - 1)
+
+
+@given(writable=st.sets(keys), readable=st.sets(keys))
+def test_pkru_for_keys_is_exactly_what_was_asked(writable, readable):
+    """pkru_for_keys grants precisely the requested rights.
+
+    Keys in ``writable`` win over ``readable`` (writable implies
+    readable); everything else is fully denied.
+    """
+    pkru = pkru_for_keys(writable=writable, readable=readable)
+    for key in range(MPK_NUM_KEYS):
+        if key in writable:
+            assert pkru_writable(pkru, key)
+            assert pkru_readable(pkru, key)
+        elif key in readable:
+            assert pkru_readable(pkru, key)
+            assert not pkru_writable(pkru, key)
+        else:
+            assert not pkru_readable(pkru, key)
+            assert not pkru_writable(pkru, key)
+
+
+@given(pkru=st.integers(min_value=0, max_value=2**32 - 1), key=keys)
+def test_writable_implies_readable_for_any_pkru(pkru, key):
+    if pkru_writable(pkru, key):
+        assert pkru_readable(pkru, key)
+
+
+@given(size=st.integers(min_value=1, max_value=5 * PAGE_SIZE))
+def test_page_align_up_properties(size):
+    aligned = page_align_up(size)
+    assert aligned >= size
+    assert aligned % PAGE_SIZE == 0
+    assert aligned - size < PAGE_SIZE
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    offset=st.integers(min_value=0, max_value=3 * PAGE_SIZE - 1),
+    payload=st.binary(min_size=1, max_size=PAGE_SIZE),
+)
+def test_store_load_roundtrip_any_offset(offset, payload):
+    """Whatever is stored at any (possibly page-straddling) offset is
+    loaded back verbatim, and neighbouring bytes are untouched."""
+    machine = Machine()
+    space = machine.new_address_space("main")
+    vaddr = space.map_new(4 * PAGE_SIZE)
+    machine.boot_context(space)
+    machine.store(vaddr + offset, payload)
+    assert machine.load(vaddr + offset, len(payload)) == payload
+    if offset > 0:
+        assert machine.load(vaddr + offset - 1, 1) == b"\x00"
+    end = offset + len(payload)
+    assert machine.load(vaddr + end, 1) == b"\x00"
+
+
+@settings(max_examples=30, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=4 * PAGE_SIZE), max_size=8))
+def test_mappings_never_overlap(sizes):
+    """Distinct map_new calls return disjoint virtual ranges."""
+    phys = PhysicalMemory(256 * PAGE_SIZE)
+    machine = Machine()
+    space = machine.new_address_space("main")
+    ranges = []
+    for size in sizes:
+        vaddr = space.map_new(size, perms=Permissions.RW)
+        ranges.append((vaddr, page_align_up(size)))
+    ranges.sort()
+    for (a_start, a_size), (b_start, _) in zip(ranges, ranges[1:]):
+        assert a_start + a_size <= b_start
+    assert phys.frames_allocated == 0  # machine has its own phys

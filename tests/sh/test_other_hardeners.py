@@ -1,0 +1,184 @@
+"""CFI, DFI, UBSAN, stack protector, SafeStack hardeners."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.machine.faults import SHViolation
+from repro.sh import SH_TECHNIQUES, make_hardener
+from repro.sh.stackprotector import place_canary, verify_canary
+
+
+def build(hardening, groups=None, libs=None):
+    return build_image(
+        BuildConfig(
+            libraries=libs or ["libc", "mq"],
+            compartments=groups or [["mq"], ["sched", "alloc", "libc"]],
+            backend="none",
+            hardening=hardening,
+        )
+    )
+
+
+# --- CFI -----------------------------------------------------------------
+
+
+def test_cfi_allows_analysed_calls():
+    image = build({"mq": ("cfi",)})
+    # mq's analysed call graph includes libc::sem_new: allowed.
+    qid = image.call("mq", "q_new", 4)
+    assert image.call("mq", "q_len", qid) == 0
+    assert image.stats().get("cfi_checks", 0) > 0
+
+
+def test_cfi_blocks_unanalysed_call():
+    image = build({"mq": ("cfi",)})
+    mq = image.lib("mq")
+    context = image.compartment_of("mq").make_context("hijacked")
+    image.machine.cpu.push_context(context)
+    try:
+        # A hijacked mq tries to reach the allocator — not in its call
+        # graph (mq only calls libc semaphore functions).
+        stub = mq.stub("alloc")
+        with pytest.raises(SHViolation, match="cfi"):
+            stub.call("malloc", 64)
+    finally:
+        image.machine.cpu.pop_context()
+
+
+def test_cfi_leaves_unknown_libraries_unchecked():
+    # libc has analysed calls; iperf does too; but a library without
+    # TRUE_BEHAVIOR["calls"] facts cannot be narrowed.  The redis app
+    # has facts, so use sched (facts present) vs a fact check instead:
+    image = build({"libc": ("cfi",)})
+    # libc's analysed calls include sched::wake_one — exercised by
+    # sem_v without violation.
+    sem = image.call("libc", "sem_new", 0)
+    image.call("libc", "sem_v", sem)
+
+
+# --- DFI -----------------------------------------------------------------
+
+
+def test_dfi_allows_own_and_shared_writes():
+    image = build({"libc": ("dfi",)})
+    context = image.compartment_of("libc").make_context("libc")
+    machine = image.machine
+    machine.cpu.push_context(context)
+    try:
+        own = image.compartment_of("libc").alloc_region(64)
+        machine.store(own, b"own write ok")
+        shared = image.call("alloc", "malloc_shared", 64)
+        machine.store(shared, b"shared write ok")
+    finally:
+        machine.cpu.pop_context()
+
+
+def test_dfi_blocks_foreign_write_under_mpk_semantics():
+    image = build_image(
+        BuildConfig(
+            libraries=["libc", "mq"],
+            compartments=[["mq"], ["sched", "alloc", "libc"]],
+            backend="mpk-shared",
+            hardening={"mq": ("dfi",)},
+        )
+    )
+    # A region owned by the libc compartment.
+    victim = image.compartment_of("libc").alloc_region(64)
+    context = image.compartment_of("mq").make_context("mq")
+    machine = image.machine
+    machine.cpu.push_context(context)
+    try:
+        with pytest.raises(SHViolation, match="dfi"):
+            machine.store(victim, b"wild write")
+    finally:
+        machine.cpu.pop_context()
+
+
+def test_dfi_store_factor_applied():
+    image = build({"libc": ("dfi",)})
+    profile = image.compartment_of("libc").profile
+    assert profile.store_factor == pytest.approx(
+        image.machine.cost.dfi_store_factor
+    )
+    assert profile.load_factor == 1.0
+
+
+# --- UBSAN ----------------------------------------------------------------
+
+
+def test_ubsan_scales_both_directions():
+    image = build({"libc": ("ubsan",)})
+    profile = image.compartment_of("libc").profile
+    factor = image.machine.cost.ubsan_mem_factor
+    assert profile.load_factor == pytest.approx(factor)
+    assert profile.store_factor == pytest.approx(factor)
+
+
+def test_factors_compose_multiplicatively():
+    image = build({"libc": ("asan", "ubsan")})
+    profile = image.compartment_of("libc").profile
+    cost = image.machine.cost
+    assert profile.load_factor == pytest.approx(
+        cost.asan_mem_factor * cost.ubsan_mem_factor
+    )
+
+
+# --- stack protector / SafeStack -----------------------------------------------
+
+
+def test_stackprotector_call_cost():
+    image = build({"libc": ("stackprotector",)})
+    profile = image.compartment_of("libc").profile
+    assert profile.call_extra_ns == pytest.approx(
+        image.machine.cost.stackprot_call_ns
+    )
+
+
+def test_safestack_call_cost_stacks_with_stackprotector():
+    image = build({"libc": ("stackprotector", "safestack")})
+    profile = image.compartment_of("libc").profile
+    cost = image.machine.cost
+    assert profile.call_extra_ns == pytest.approx(
+        cost.stackprot_call_ns + cost.safestack_call_ns
+    )
+
+
+def test_canary_detects_smash():
+    image = build({})
+    machine = image.machine
+    context = image.compartment_of("libc").make_context("frame")
+    machine.cpu.push_context(context)
+    try:
+        frame = image.compartment_of("libc").alloc_region(64)
+        place_canary(machine, frame + 32)
+        verify_canary(machine, frame + 32)  # intact
+        machine.store(frame + 32, b"\x00" * 8)  # smash
+        with pytest.raises(SHViolation, match="stack smashing"):
+            verify_canary(machine, frame + 32)
+    finally:
+        machine.cpu.pop_context()
+
+
+# --- registry ------------------------------------------------------------------
+
+
+def test_registry_contents():
+    assert set(SH_TECHNIQUES) == {
+        "asan",
+        "kasan",
+        "mte",
+        "cfi",
+        "dfi",
+        "ubsan",
+        "stackprotector",
+        "safestack",
+    }
+    for name in SH_TECHNIQUES:
+        assert make_hardener(name) is not None
+
+
+def test_registry_unknown():
+    from repro.machine.faults import GateError
+
+    with pytest.raises(GateError):
+        make_hardener("magic-shield")

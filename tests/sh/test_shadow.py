@@ -1,0 +1,73 @@
+"""Unit and property tests for the ASAN shadow map."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sh.asan import ShadowMap
+
+
+def test_empty_shadow_never_intersects():
+    shadow = ShadowMap()
+    assert not shadow.intersects(0, 100)
+    assert shadow.poisoned_intervals == 0
+
+
+def test_poison_and_check():
+    shadow = ShadowMap()
+    shadow.poison(100, 116)
+    assert shadow.intersects(100, 1)
+    assert shadow.intersects(115, 1)
+    assert shadow.intersects(90, 20)  # straddles the start
+    assert shadow.intersects(110, 100)  # straddles the end
+    assert not shadow.intersects(116, 10)
+    assert not shadow.intersects(0, 100)
+
+
+def test_unpoison_removes_interval():
+    shadow = ShadowMap()
+    shadow.poison(100, 116)
+    shadow.poison(200, 216)
+    shadow.unpoison(100)
+    assert not shadow.intersects(100, 16)
+    assert shadow.intersects(200, 1)
+    shadow.unpoison(999)  # unknown start: no-op
+    assert shadow.poisoned_intervals == 1
+
+
+def test_empty_interval_ignored():
+    shadow = ShadowMap()
+    shadow.poison(50, 50)
+    shadow.poison(60, 55)
+    assert shadow.poisoned_intervals == 0
+
+
+@given(
+    intervals=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10_000),
+            st.integers(min_value=1, max_value=64),
+        ),
+        max_size=30,
+    ),
+    probe=st.tuples(
+        st.integers(min_value=0, max_value=10_100),
+        st.integers(min_value=1, max_value=128),
+    ),
+)
+def test_intersects_matches_naive_model(intervals, probe):
+    """The bisect implementation agrees with a brute-force check."""
+    # Build disjoint intervals by spacing them out deterministically.
+    shadow = ShadowMap()
+    placed = []
+    cursor = 0
+    for offset, length in intervals:
+        start = cursor + offset
+        end = start + length
+        shadow.poison(start, end)
+        placed.append((start, end))
+        cursor = end + 1
+    addr, size = probe
+    expected = any(
+        start < addr + size and end > addr for start, end in placed
+    )
+    assert shadow.intersects(addr, size) == expected
