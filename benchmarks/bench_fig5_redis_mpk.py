@@ -36,7 +36,7 @@ REQUESTS = 300
 WINDOW = 8
 
 
-def measure(model: str, backend: str, payload: int) -> float:
+def measure(model: str, backend: str, payload: int, report=None) -> float:
     image = build_image(
         BuildConfig(
             libraries=LIBRARIES, compartments=MODELS[model], backend=backend
@@ -49,9 +49,14 @@ def measure(model: str, backend: str, payload: int) -> float:
         window=WINDOW,
         expect_prefix=b"+OK",
     )
-    return run_redis_phase(
+    mreq_s = run_redis_phase(
         image, make_get_payloads(REQUESTS, 64), window=WINDOW, expect_prefix=b"$"
     ).mreq_s
+    if report is not None:
+        # Crossing counts + histograms per configuration, so a Mreq/s
+        # regression in results.json can be pinned to a gate edge.
+        report.metrics("fig5", f"{model}/{backend}/{payload}B", image)
+    return mreq_s
 
 
 _CASES = [("No Isol.", "none")] + [
@@ -64,7 +69,10 @@ _CASES = [("No Isol.", "none")] + [
 @pytest.mark.parametrize("model,backend", _CASES)
 def test_fig5_redis_mpk(benchmark, report, model, backend):
     def run() -> dict[int, float]:
-        return {payload: measure(model, backend, payload) for payload in PAYLOADS}
+        return {
+            payload: measure(model, backend, payload, report=report)
+            for payload in PAYLOADS
+        }
 
     series = benchmark.pedantic(run, rounds=1, iterations=1)
     stacks = {"none": "", "mpk-shared": " Sh.", "mpk-switched": " Sw."}[backend]

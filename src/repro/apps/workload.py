@@ -236,11 +236,11 @@ def run_closed_loop(
         )
     if source.bad_responses:
         raise RuntimeError(f"{source.bad_responses} malformed responses")
-    result = meter.result(
-        payload_bytes=source.response_bytes, requests=source.total
+    return meter.result(
+        payload_bytes=source.response_bytes,
+        requests=source.total,
+        latencies_ns=source.latencies_ns,
     )
-    result.latencies_ns = list(source.latencies_ns)
-    return result
 
 
 def run_redis_phase(

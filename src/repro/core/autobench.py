@@ -63,10 +63,17 @@ def simulated_perf_fn(
     request for redis) for each candidate deployment; results are
     memoised per coloring+choices so repeated strategy queries don't
     rebuild images.
+
+    The returned callable carries a ``snapshots`` dict mapping each
+    measured deployment key to the image's full metrics snapshot
+    (counters, crossing edges, histograms, clock), so an exploration
+    run can be dissected afterwards — which candidate burned its time
+    on gate crossings vs. hardening overhead — without re-running.
     """
     if workload not in ("iperf", "redis"):
         raise ValueError(f"unknown workload {workload!r}")
     cache: dict = {}
+    snapshots: dict = {}
 
     def measure(deployment: "Deployment") -> float:
         key = (
@@ -107,6 +114,8 @@ def simulated_perf_fn(
             )
             cost = result.ns_per_request
         cache[key] = cost
+        snapshots[key] = image.metrics_snapshot()
         return cost
 
+    measure.snapshots = snapshots
     return measure

@@ -64,6 +64,15 @@ class Image:
         """Current simulated time."""
         return self.machine.cpu.clock_ns
 
+    @property
+    def obs(self):
+        """The machine's observability bundle (tracer + metrics)."""
+        return self.machine.obs
+
+    def enable_tracing(self):
+        """Turn on span recording; returns the tracer for exporting."""
+        return self.machine.obs.tracer.enable()
+
     # --- lifecycle ----------------------------------------------------------
 
     def boot(self) -> None:
@@ -188,6 +197,16 @@ class Image:
                 }
             )
         return rows
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-ready dump of every metric, stamped with the clock."""
+        snapshot = self.machine.obs.metrics.snapshot()
+        snapshot["clock_ns"] = self.machine.cpu.clock_ns
+        return snapshot
+
+    def crossing_matrix(self) -> dict[str, dict[str, int]]:
+        """caller → callee → crossing counts from the metrics registry."""
+        return self.machine.obs.metrics.crossing_matrix()
 
     def crossing_report(self) -> list[tuple[str, str, str, int]]:
         """Per-edge channel usage: (caller, callee, kind, crossings).

@@ -35,10 +35,25 @@ class GateOptions:
 
 
 class Gate(CallChannelProtocol):
-    """Common behaviour for every channel implementation."""
+    """Common behaviour for every channel implementation.
+
+    Crossing accounting is unified here: every invocation increments
+    the channel's own ``crossings``, its caller→callee edge in the
+    metrics registry, the shared ``gate_crossings`` counter (for every
+    compartment-boundary channel, regardless of backend) and the
+    backend's own counter — so counts agree across backends instead of
+    each gate bumping an ad-hoc subset.
+    """
 
     #: Short backend identifier ("direct", "mpk-shared", ...).
     KIND = "abstract"
+    #: True for channels that cross a compartment boundary; only the
+    #: same-compartment DirectChannel clears it.  Boundary channels
+    #: count toward ``gate_crossings`` and get trace spans.
+    IS_BOUNDARY = True
+    #: Backend-specific counter bumped alongside the unified ones
+    #: ("mpk_crossings", "vm_rpcs", ...); empty string disables it.
+    EXTRA_COUNTER = ""
 
     def __init__(
         self,
@@ -52,6 +67,10 @@ class Gate(CallChannelProtocol):
         self.callee_lib = callee_lib
         self.options = options if options is not None else GateOptions()
         self.crossings = 0
+        self._edge = machine.cpu.metrics.edge(
+            caller_lib.NAME, callee_lib.NAME, self.KIND
+        )
+        self._tracer = machine.obs.tracer
 
     # --- shared plumbing ----------------------------------------------------
 
@@ -81,6 +100,33 @@ class Gate(CallChannelProtocol):
         for monitor in profile.call_monitors:
             monitor(self.caller_lib.NAME, self.callee_lib.NAME, fn)
 
+    def _record_crossing(self) -> None:
+        """Unified crossing accounting (channel, edge, CPU counters)."""
+        self.crossings += 1
+        self._edge.crossings += 1
+        cpu = self.machine.cpu
+        if self.IS_BOUNDARY:
+            cpu.bump("gate_crossings")
+        if self.EXTRA_COUNTER:
+            cpu.bump(self.EXTRA_COUNTER)
+
+    def _trace_begin(self, fn: str) -> bool:
+        """Open a crossing span; returns whether one was opened.
+
+        Spans ride the calling thread's track, so a blocking call that
+        suspends keeps its span open across the suspension and closes
+        it after resume — other threads' events land on other tracks.
+        """
+        tracer = self._tracer
+        if not (tracer.enabled and self.IS_BOUNDARY):
+            return False
+        tracer.begin(
+            f"{self.caller_lib.NAME}->{self.callee_lib.NAME}.{fn}",
+            "gate",
+            kind=self.KIND,
+        )
+        return True
+
     # --- domain switch hooks (overridden by real gates) ---------------------------
 
     def _enter(self, fn: str, args: tuple) -> None:
@@ -94,15 +140,21 @@ class Gate(CallChannelProtocol):
     def invoke(self, fn: str, args: tuple) -> Any:
         handler = self._lookup(fn, blocking=False)
         self._caller_side(fn)
+        self._record_crossing()
+        traced = self._trace_begin(fn)
         self._enter(fn, args)
         try:
             return handler(*args)
         finally:
             self._exit()
+            if traced:
+                self._tracer.end()
 
     def invoke_gen(self, fn: str, args: tuple) -> Generator:
         handler = self._lookup(fn, blocking=True)
         self._caller_side(fn)
+        self._record_crossing()
+        traced = self._trace_begin(fn)
         self._enter(fn, args)
         try:
             result = yield from handler(*args)
@@ -110,12 +162,17 @@ class Gate(CallChannelProtocol):
             # The thread was destroyed while parked inside the callee:
             # its entire saved protection-context stack (including the
             # context this gate pushed) is discarded with it, so there
-            # is nothing to restore on the live CPU.
+            # is nothing to restore on the live CPU.  The open trace
+            # span is left dangling on purpose; the exporter closes it.
             raise
         except BaseException:
             self._exit()
+            if traced:
+                self._tracer.end()
             raise
         self._exit()
+        if traced:
+            self._tracer.end()
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -34,6 +34,7 @@ class CHERIGate(Gate):
     """Capability invocation with per-call pointer delegation."""
 
     KIND = "cheri"
+    EXTRA_COUNTER = "cheri_crossings"
 
     def __init__(
         self,
@@ -74,9 +75,6 @@ class CHERIGate(Gate):
             cpu.charge(cost.cheri_grant_ns)
             capabilities.grant(addr, size)
             cpu.bump("cap_grants")
-        cpu.bump("gate_crossings")
-        cpu.bump("cheri_crossings")
-        self.crossings += 1
         context = self.callee_comp.make_context(
             label=f"cap:{self.callee_lib.NAME}.{fn}"
         )

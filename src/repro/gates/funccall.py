@@ -29,10 +29,10 @@ class DirectChannel(Gate):
     """Same-compartment call: entry checks, no protection switch."""
 
     KIND = "direct"
-
-    def _enter(self, fn: str, args: tuple) -> None:
-        self.crossings += 1
-        self.machine.cpu.bump("direct_calls")
+    #: Not a compartment boundary: counts as a direct call, never as a
+    #: gate crossing.
+    IS_BOUNDARY = False
+    EXTRA_COUNTER = "direct_calls"
 
     def _exit(self) -> None:
         self.machine.cpu.charge(self.machine.cost.ret_ns)
@@ -48,6 +48,10 @@ class ProfileChannel(Gate):
     """
 
     KIND = "profile"
+    #: A compartment boundary (just without a hardware switch): counts
+    #: toward ``gate_crossings`` like every other backend, keeping the
+    #: historical ``direct_calls`` counter for its call cost class.
+    EXTRA_COUNTER = "direct_calls"
 
     def __init__(
         self,
@@ -60,8 +64,6 @@ class ProfileChannel(Gate):
         self.callee_comp: "Compartment" = callee_lib.compartment
 
     def _enter(self, fn: str, args: tuple) -> None:
-        self.crossings += 1
-        self.machine.cpu.bump("direct_calls")
         self.machine.cpu.push_context(
             self.callee_comp.make_context(label=f"{self.callee_lib.NAME}.{fn}")
         )

@@ -25,6 +25,7 @@ class MPKSharedStackGate(Gate):
     """Domain switch via PKRU write; stacks stay in a shared domain."""
 
     KIND = "mpk-shared"
+    EXTRA_COUNTER = "mpk_crossings"
 
     def __init__(
         self,
@@ -46,9 +47,6 @@ class MPKSharedStackGate(Gate):
     def _enter(self, fn: str, args: tuple) -> None:
         cpu = self.machine.cpu
         cpu.charge(self._switch_cost())
-        cpu.bump("gate_crossings")
-        cpu.bump("mpk_crossings")
-        self.crossings += 1
         # Enter the callee's domain: push its context carrying the
         # caller's PKRU, then perform the (sealed) WRPKRU — gates are
         # the only code authorised to issue it.

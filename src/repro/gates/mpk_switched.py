@@ -11,7 +11,14 @@ Figure 5 measures for Redis.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+from repro.gates.base import GateOptions
 from repro.gates.mpk_shared import MPKSharedStackGate
+
+if TYPE_CHECKING:
+    from repro.libos.library import MicroLibrary
+    from repro.machine.machine import Machine
 
 
 class MPKSwitchedStackGate(MPKSharedStackGate):
@@ -19,12 +26,25 @@ class MPKSwitchedStackGate(MPKSharedStackGate):
 
     KIND = "mpk-switched"
 
+    def __init__(
+        self,
+        machine: "Machine",
+        caller_lib: "MicroLibrary",
+        callee_lib: "MicroLibrary",
+        options: GateOptions | None = None,
+    ) -> None:
+        super().__init__(machine, caller_lib, callee_lib, options)
+        # Distribution of the per-crossing parameter copies — the cost
+        # component that separates this gate from the shared-stack one.
+        self._copy_hist = machine.cpu.metrics.histogram("gate.arg_copy_bytes")
+
     def _enter(self, fn: str, args: tuple) -> None:
         cpu = self.machine.cpu
         cost = self.machine.cost
         # Stack switch plus copying each parameter word to the target
         # compartment's stack.
         arg_bytes = max(1, len(args)) * self.options.word_bytes
+        self._copy_hist.observe(arg_bytes)
         cpu.charge(
             cost.stack_switch_ns
             + cost.mem_op_ns

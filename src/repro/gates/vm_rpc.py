@@ -28,6 +28,7 @@ class VMRPCGate(Gate):
     """Synchronous RPC between per-compartment VMs."""
 
     KIND = "vm-rpc"
+    EXTRA_COUNTER = "vm_rpcs"
 
     def __init__(
         self,
@@ -48,9 +49,6 @@ class VMRPCGate(Gate):
         cost = self.machine.cost
         arg_bytes = max(1, len(args)) * self.options.word_bytes
         cpu.charge(cost.vm_notify_ns + arg_bytes * cost.vm_copy_byte_ns)
-        cpu.bump("gate_crossings")
-        cpu.bump("vm_rpcs")
-        self.crossings += 1
         cpu.push_context(
             self.callee_comp.make_context(label=f"rpc:{self.callee_lib.NAME}.{fn}")
         )

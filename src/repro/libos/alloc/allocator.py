@@ -56,6 +56,8 @@ class HeapAllocator:
         self._live: dict[int, int] = {}
         self.total_allocs = 0
         self.total_frees = 0
+        # Size distribution of this heap's allocations (metrics layer).
+        self._size_hist = machine.cpu.metrics.histogram(f"alloc.bytes:{name}")
 
     # --- allocation -------------------------------------------------------
 
@@ -63,9 +65,12 @@ class HeapAllocator:
         """Allocate ``size`` bytes; returns the block address."""
         if size <= 0:
             raise ValueError("allocation size must be positive")
-        self.machine.cpu.charge(self.machine.cost.alloc_ns)
-        self.machine.cpu.bump(f"malloc:{self.name}")
+        cpu = self.machine.cpu
+        start_ns = cpu.clock_ns
+        cpu.charge(self.machine.cost.alloc_ns)
+        cpu.bump(f"malloc:{self.name}")
         need = _round_up(size)
+        self._size_hist.observe(need)
         for index, start in enumerate(self._free_starts):
             avail = self._free_sizes[start]
             if avail < need:
@@ -78,17 +83,27 @@ class HeapAllocator:
                 bisect.insort(self._free_starts, rest)
             self._live[start] = need
             self.total_allocs += 1
+            tracer = self.machine.obs.tracer
+            if tracer.enabled:
+                tracer.complete(
+                    "malloc", "alloc", start_ns, heap=self.name, bytes=need
+                )
             return start
         raise AllocationError(f"{self.name}: out of heap ({size} bytes requested)")
 
     def free(self, addr: int) -> None:
         """Release a previously allocated block."""
-        self.machine.cpu.charge(self.machine.cost.free_ns)
+        cpu = self.machine.cpu
+        start_ns = cpu.clock_ns
+        cpu.charge(self.machine.cost.free_ns)
         size = self._live.pop(addr, None)
         if size is None:
             raise AllocationError(f"{self.name}: invalid free of {addr:#x}")
         self.total_frees += 1
         self._insert_free(addr, size)
+        tracer = self.machine.obs.tracer
+        if tracer.enabled:
+            tracer.complete("free", "alloc", start_ns, heap=self.name, bytes=size)
 
     def _insert_free(self, addr: int, size: int) -> None:
         """Insert a free block, coalescing with neighbours."""

@@ -133,6 +133,8 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
     def on_install(self) -> None:
         self.nic.machine = self.machine
         self.nic.attach(self.compartment.address_space)
+        # Packets drained per rx quantum (NAPI batch effectiveness).
+        self._rx_batch_hist = self.machine.cpu.metrics.histogram("net.rx_batch_pkts")
         # Static state: the connection control-block table and the
         # port-demux hash table consulted on every received packet.
         self._tcb_table = self.alloc_static(64 * self.TCB_SIZE)
@@ -257,6 +259,7 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
             return 0
         conn = self._conn(sockfd)
         cost = self.machine.cost
+        start_ns = self.machine.cpu.clock_ns
         self.charge(cost.sock_op_ns)
         offset = 0
         while offset < size:
@@ -278,6 +281,11 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
             self._mbuf_put(mbuf)
             conn.seq_out += chunk
             offset += chunk
+        tracer = self.machine.obs.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "netstack.send", "net", start_ns, bytes=size, port=conn.port
+            )
         return size
 
     # --- rx path -----------------------------------------------------------------
@@ -286,6 +294,7 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
     def rx_process(self, budget: int = RX_BUDGET) -> int:
         """Drain up to ``budget`` packets from the NIC into sockets."""
         cost = self.machine.cost
+        start_ns = self.machine.cpu.clock_ns
         processed = 0
         while processed < budget:
             descriptor = self.nic.rx_poll()
@@ -323,6 +332,13 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
             # signals cannot accumulate stale tokens.
             self._libc.call("sem_v", conn.rx_sem)
             processed += 1
+        if processed:
+            self._rx_batch_hist.observe(processed)
+            tracer = self.machine.obs.tracer
+            if tracer.enabled:
+                tracer.complete(
+                    "netstack.rx_process", "net", start_ns, packets=processed
+                )
         return processed
 
     def make_rx_loop(self, budget: int | None = None):

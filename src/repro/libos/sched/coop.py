@@ -17,6 +17,7 @@ from typing import Callable, Generator
 from repro.libos.library import MicroLibrary, export, export_blocking
 from repro.libos.sched.base import Block, Thread, ThreadState, WaitQueue, Yield
 from repro.machine.faults import GateError
+from repro.obs.tracer import HOST_TRACK, SCHED_TRACK
 
 
 class SchedulerIdle(Exception):
@@ -215,6 +216,8 @@ thread_join(tid)
         is a deadlock or a daemon thread.
         """
         cpu = self.machine.cpu
+        tracer = self.machine.obs.tracer
+        quantum_hist = cpu.metrics.histogram("sched.quantum_ns")
         switches = 0
         while self.run_queue or self._timers:
             if until is not None and until():
@@ -243,6 +246,10 @@ thread_join(tid)
             thread.switches += 1
             thread.state = ThreadState.RUNNING
             cpu.bump("ctx_switches")
+            quantum_start = cpu.clock_ns
+            # Route trace events to the running thread's own track so
+            # spans it leaves open across a suspension nest correctly.
+            tracer.set_track(thread.tid, thread.name)
             saved = cpu.swap_context_stack(thread.ctx_stack)
             try:
                 directive = next(thread.body)
@@ -253,6 +260,17 @@ thread_join(tid)
                 self.wake_all(thread.exit_waitq)
             finally:
                 thread.ctx_stack = cpu.swap_context_stack(saved)
+                tracer.set_track(HOST_TRACK)
+            quantum_hist.observe(cpu.clock_ns - quantum_start)
+            if tracer.enabled:
+                tracer.complete(
+                    thread.name,
+                    "sched",
+                    quantum_start,
+                    track=SCHED_TRACK,
+                    tid=thread.tid,
+                    state=thread.state.name,
+                )
             if thread.state is ThreadState.DONE:
                 continue
             if isinstance(directive, Yield):

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.machine.cycles import DEFAULT_COST_MODEL, CostModel
 from repro.machine.mpk import pkru_all_access
+from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:
     from repro.machine.address_space import AddressSpace
@@ -82,7 +83,14 @@ class CPU:
         self.clock_ns: float = 0.0
         self.charging: bool = True
         self._contexts: list[Context] = []
-        self.stats: dict[str, float] = {}
+        #: All metrics of this CPU (counters, histograms, gate edges).
+        self.metrics = MetricsRegistry()
+        #: Legacy flat-counter view — the registry's counter table
+        #: itself, so ``bump``/``stats`` and the registry never diverge.
+        self.stats: dict[str, float] = self.metrics.counters
+        #: Span tracer, attached by :class:`repro.obs.Observability`
+        #: (None only for a bare CPU constructed outside a Machine).
+        self.tracer = None
         #: When True, every charge is also attributed to the profile
         #: (≈ compartment) of the executing context — a simulated-time
         #: profiler.  Off by default (it taxes every charge).
@@ -162,6 +170,8 @@ class CPU:
 
         self.charge(self.cost.wrpkru_ns)
         self.bump("wrpkru")
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.instant("wrpkru", "mpk", value=value)
         if token is not self._gate_token:
             raise ProtectionFault(
                 0,
@@ -184,8 +194,8 @@ class CPU:
                 )
 
     def bump(self, counter: str, amount: float = 1.0) -> None:
-        """Increment a named statistics counter."""
-        self.stats[counter] = self.stats.get(counter, 0.0) + amount
+        """Increment a named statistics counter (via the registry)."""
+        self.metrics.inc(counter, amount)
 
     def reset_stats(self) -> None:
         """Clear all counters (the clock is left untouched)."""

@@ -30,6 +30,7 @@ from repro.machine.ept import SharedWindowAllocator, VMDomain
 from repro.machine.faults import PageFault, ProtectionFault
 from repro.machine.memory import PhysicalMemory
 from repro.machine.mpk import pkru_readable, pkru_writable
+from repro.obs import Observability
 
 
 class Machine:
@@ -42,6 +43,9 @@ class Machine:
     ) -> None:
         self.phys = PhysicalMemory(phys_bytes)
         self.cpu = CPU(cost)
+        #: Observability: span tracer (disabled by default) + metrics
+        #: registry (shared with the CPU).  See :mod:`repro.obs`.
+        self.obs = Observability(self.cpu)
         self.spaces: dict[str, AddressSpace] = {}
         self.vm_domains: dict[str, VMDomain] = {}
         self._shared_windows = SharedWindowAllocator(self.phys)

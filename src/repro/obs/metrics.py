@@ -1,0 +1,186 @@
+"""The metrics registry: counters, gauges, histograms, crossing edges.
+
+One registry per simulated CPU.  It subsumes the ad-hoc statistics the
+reproduction grew organically — the CPU's flat ``stats`` dict *is* the
+registry's counter table (``cpu.bump`` writes through
+:meth:`MetricsRegistry.inc`), and every gate's per-edge crossing count
+lives in an :class:`EdgeStats` keyed by the caller→callee edge — so the
+crossing heat-matrix the paper's Fig. 5 diagnosis needs falls out of
+:meth:`MetricsRegistry.crossing_matrix` without any extra
+instrumentation.
+
+Histograms record simulated-time (or size) observations and summarise
+them with the same nearest-rank percentiles the benchmark suite uses.
+Everything here is host-side bookkeeping: no method ever charges the
+simulated clock, so metrics can stay always-on without perturbing
+measured timings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.perf.meter import percentile
+
+
+@dataclasses.dataclass
+class Gauge:
+    """A last-value-wins metric (queue depths, heap usage)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Observation series with nearest-rank percentile summaries."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        return percentile(self.values, fraction)
+
+    def summary(self) -> dict[str, float]:
+        """Count/min/max/mean plus p50/p90/p99."""
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": len(self.values),
+            "sum": self.total,
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+@dataclasses.dataclass
+class EdgeStats:
+    """Per caller→callee channel accounting (one per linked edge)."""
+
+    caller: str
+    callee: str
+    kind: str
+    crossings: int = 0
+
+
+class MetricsRegistry:
+    """All metrics of one simulated machine, behind one API.
+
+    - :attr:`counters` is a plain dict so the CPU can expose it as its
+      legacy ``stats`` attribute;
+    - gauges and histograms are created on first use;
+    - edges are registered by gates at link time and keyed by
+      ``(caller, callee, kind)`` so replicated channels of different
+      kinds never alias.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._edges: dict[tuple[str, str, str], EdgeStats] = {}
+
+    # --- counters ----------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment a named counter (the ``cpu.bump`` write path)."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never bumped)."""
+        return self.counters.get(name, 0.0)
+
+    # --- gauges / histograms ----------------------------------------------
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    # --- edges -----------------------------------------------------------
+
+    def edge(self, caller: str, callee: str, kind: str) -> EdgeStats:
+        """The shared accounting record for one channel edge."""
+        key = (caller, callee, kind)
+        edge = self._edges.get(key)
+        if edge is None:
+            edge = self._edges[key] = EdgeStats(caller, callee, kind)
+        return edge
+
+    def edges_report(self) -> list[dict]:
+        """Used edges as dict rows, busiest first."""
+        rows = [
+            {
+                "caller": edge.caller,
+                "callee": edge.callee,
+                "kind": edge.kind,
+                "crossings": edge.crossings,
+            }
+            for edge in self._edges.values()
+            if edge.crossings
+        ]
+        rows.sort(key=lambda row: -row["crossings"])
+        return rows
+
+    def crossing_matrix(self) -> dict[str, dict[str, int]]:
+        """caller → callee → crossings (all channel kinds summed)."""
+        matrix: dict[str, dict[str, int]] = {}
+        for edge in self._edges.values():
+            if not edge.crossings:
+                continue
+            row = matrix.setdefault(edge.caller, {})
+            row[edge.callee] = row.get(edge.callee, 0) + edge.crossings
+        return matrix
+
+    # --- export / lifecycle -----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy of everything the registry holds."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(self._histograms.items())
+            },
+            "edges": self.edges_report(),
+            "crossing_matrix": self.crossing_matrix(),
+        }
+
+    def reset(self) -> None:
+        """Clear every metric (edges keep their identity, zeroed)."""
+        self.counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        for edge in self._edges.values():
+            edge.crossings = 0

@@ -8,7 +8,8 @@ identical numbers and shapes are noise-free.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING
+import math
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:
     from repro.machine.machine import Machine
@@ -34,14 +35,20 @@ def mreq_per_s(requests: float, elapsed_ns: float) -> float:
 
 
 def percentile(values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1])."""
+    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1]).
+
+    True nearest-rank semantics: the smallest value such that at least
+    ``fraction`` of the observations are ≤ it, i.e. the element at rank
+    ``ceil(fraction * n)`` (1-based).  ``fraction=0`` returns the
+    minimum, ``fraction=1`` the maximum.
+    """
     if not values:
         return 0.0
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("percentile fraction must be in [0, 1]")
     ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
-    return ordered[rank]
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
 
 
 @dataclasses.dataclass
@@ -131,13 +138,22 @@ class Meter:
         }
 
     def result(
-        self, payload_bytes: float = 0.0, requests: float = 0.0
+        self,
+        payload_bytes: float = 0.0,
+        requests: float = 0.0,
+        latencies_ns: Iterable[float] | None = None,
     ) -> BenchResult:
-        """Package the measurement."""
+        """Package the measurement.
+
+        Pass the workload's recorded per-request latencies so
+        :meth:`BenchResult.latency_percentile` works from the Meter
+        path instead of requiring callers to patch the result.
+        """
         return BenchResult(
             label=self.label,
             payload_bytes=payload_bytes,
             requests=requests,
             elapsed_ns=self.elapsed_ns,
             stats=self.stats_delta(),
+            latencies_ns=list(latencies_ns) if latencies_ns is not None else [],
         )

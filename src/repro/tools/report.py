@@ -5,10 +5,15 @@ Usage::
     python -m repro.tools.report --config build.json --workload redis
     python -m repro.tools.report --libs libc,netstack,iperf \\
         --backend mpk-shared --workload iperf
+    python -m repro.tools.report --workload redis --trace trace.json --json
 
 Prints the compartment layout, the per-edge gate-crossing counts (the
 Fig. 5 diagnosis view), the per-compartment simulated-time attribution,
-and the memory report.
+and the memory report.  ``--trace FILE`` records a Chrome trace-event
+JSON of the run (open it in ``chrome://tracing`` or Perfetto);
+``--json`` emits the whole report machine-readable — including the
+caller→callee crossing matrix and the full metrics snapshot — so
+benchmarks and CI can diff reports instead of scraping text.
 """
 
 from __future__ import annotations
@@ -19,15 +24,24 @@ import pathlib
 
 from repro.core.builder import build_image
 from repro.core.config import BuildConfig
+from repro.obs import write_chrome_trace
 
 
-def run_workload(image, workload: str) -> str:
-    """Drive the named workload; returns a one-line summary."""
+def run_workload(image, workload: str) -> tuple[str, dict]:
+    """Drive the named workload; returns (one-line summary, raw numbers)."""
     if workload == "iperf":
         from repro.apps import run_iperf
 
         result = run_iperf(image, 1024, 1 << 18)
-        return f"iperf: {result.throughput_mbps:.0f} Mb/s simulated"
+        return (
+            f"iperf: {result.throughput_mbps:.0f} Mb/s simulated",
+            {
+                "name": "iperf",
+                "throughput_mbps": result.throughput_mbps,
+                "payload_bytes": result.payload_bytes,
+                "elapsed_ns": result.elapsed_ns,
+            },
+        )
     if workload == "redis":
         from repro.apps import (
             make_get_payloads,
@@ -46,40 +60,89 @@ def run_workload(image, workload: str) -> str:
         result = run_redis_phase(
             image, make_get_payloads(300, 32), window=8, expect_prefix=b"$"
         )
+        p50 = result.latency_percentile(0.5)
+        p99 = result.latency_percentile(0.99)
         return (
-            f"redis: {result.mreq_s:.3f} Mreq/s, p50 "
-            f"{result.latency_percentile(0.5):.0f} ns, p99 "
-            f"{result.latency_percentile(0.99):.0f} ns"
+            f"redis: {result.mreq_s:.3f} Mreq/s, p50 {p50:.0f} ns, "
+            f"p99 {p99:.0f} ns",
+            {
+                "name": "redis",
+                "mreq_s": result.mreq_s,
+                "requests": result.requests,
+                "elapsed_ns": result.elapsed_ns,
+                "p50_ns": p50,
+                "p99_ns": p99,
+            },
         )
     raise ValueError(f"unknown workload {workload!r}")
 
 
-def report(config: BuildConfig, workload: str) -> str:
-    """Build, run, and render the full report."""
+def collect(
+    config: BuildConfig, workload: str, trace_path: str | None = None
+) -> dict:
+    """Build, run, and gather the full report as structured data."""
     image = build_image(config)
     image.machine.cpu.attribute_time = True
-    summary = run_workload(image, workload)
-    lines = ["== Layout ==", image.layout(), "", f"== Workload ==", summary]
+    if trace_path:
+        image.enable_tracing()
+    summary, numbers = run_workload(image, workload)
+    if trace_path:
+        write_chrome_trace(image.machine.obs.tracer, trace_path)
+    return {
+        "layout": image.layout(),
+        "workload": {"summary": summary, **numbers},
+        "crossings": [
+            {"caller": caller, "callee": callee, "kind": kind, "crossings": count}
+            for caller, callee, kind, count in image.crossing_report()
+        ],
+        "crossing_matrix": image.crossing_matrix(),
+        "time_by_compartment_ns": dict(image.machine.cpu.domain_time_ns),
+        "memory": image.memory_report(),
+        "metrics": image.metrics_snapshot(),
+        "trace_file": str(trace_path) if trace_path else None,
+    }
+
+
+def render_text(data: dict) -> str:
+    """The human-readable report (the original format)."""
+    lines = [
+        "== Layout ==",
+        data["layout"],
+        "",
+        "== Workload ==",
+        data["workload"]["summary"],
+    ]
 
     lines += ["", "== Gate crossings (busiest first) =="]
-    for caller, callee, kind, crossings in image.crossing_report()[:12]:
-        lines.append(f"  {caller:10s} -> {callee:10s} [{kind:12s}] {crossings:8d}")
+    for row in data["crossings"][:12]:
+        lines.append(
+            f"  {row['caller']:10s} -> {row['callee']:10s} "
+            f"[{row['kind']:12s}] {row['crossings']:8d}"
+        )
 
     lines += ["", "== Simulated time by compartment =="]
-    total = sum(image.machine.cpu.domain_time_ns.values()) or 1.0
-    for name, ns in sorted(
-        image.machine.cpu.domain_time_ns.items(), key=lambda kv: -kv[1]
-    ):
+    attribution = data["time_by_compartment_ns"]
+    total = sum(attribution.values()) or 1.0
+    for name, ns in sorted(attribution.items(), key=lambda kv: -kv[1]):
         lines.append(f"  {name:28s} {ns / 1e6:9.3f} ms  ({ns / total:5.1%})")
 
     lines += ["", "== Memory =="]
-    for row in image.memory_report():
+    for row in data["memory"]:
         lines.append(
             f"  {row['compartment']:28s} owned {row['owned_bytes']:>10d} B, "
             f"heap in use {row['heap_in_use']:>8d} B "
             f"({row['heap_live_blocks']} blocks)"
         )
+    if data.get("trace_file"):
+        lines += ["", f"trace written to {data['trace_file']}"]
     return "\n".join(lines)
+
+
+def report(
+    config: BuildConfig, workload: str, trace_path: str | None = None
+) -> str:
+    """Build, run, and render the full text report."""
+    return render_text(collect(config, workload, trace_path))
 
 
 def config_from_args(args) -> BuildConfig:
@@ -111,8 +174,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workload", default="iperf", choices=("iperf", "redis")
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a Chrome trace-event JSON of the run to FILE",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as machine-readable JSON instead of text",
+    )
     args = parser.parse_args(argv)
-    print(report(config_from_args(args), args.workload))
+    if args.trace and not pathlib.Path(args.trace).resolve().parent.is_dir():
+        # Fail before the run, not after: the simulation can take a
+        # while and the trace would be lost.
+        parser.error(f"--trace: directory of {args.trace!r} does not exist")
+    data = collect(config_from_args(args), args.workload, args.trace)
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(render_text(data))
     return 0
 
 

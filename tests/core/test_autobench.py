@@ -66,3 +66,17 @@ def test_redis_workload_estimator():
 def test_unknown_workload_rejected():
     with pytest.raises(ValueError):
         simulated_perf_fn(LIBS, workload="fortran")
+
+
+def test_perf_fn_keeps_metric_snapshots(explorer):
+    perf = simulated_perf_fn(LIBS, workload="iperf")
+    assert perf.snapshots == {}
+    deployment = explorer.deployments[0]
+    perf(deployment)
+    assert len(perf.snapshots) == 1
+    snapshot = next(iter(perf.snapshots.values()))
+    assert snapshot["clock_ns"] > 0
+    assert "counters" in snapshot and "crossing_matrix" in snapshot
+    # Memoised re-measures don't duplicate snapshots.
+    perf(deployment)
+    assert len(perf.snapshots) == 1

@@ -64,12 +64,27 @@ def test_percentile_nearest_rank():
     from repro.perf.meter import percentile
 
     values = [10.0, 20.0, 30.0, 40.0]
+    # True nearest-rank: element at 1-based rank ceil(fraction * n).
     assert percentile(values, 0.0) == 10.0
-    assert percentile(values, 0.5) == 30.0
+    assert percentile(values, 0.25) == 10.0
+    assert percentile(values, 0.5) == 20.0
+    assert percentile(values, 0.51) == 30.0
+    assert percentile(values, 0.75) == 30.0
+    assert percentile(values, 0.99) == 40.0
     assert percentile(values, 1.0) == 40.0
     assert percentile([], 0.5) == 0.0
     with pytest.raises(ValueError):
         percentile(values, 1.5)
+
+
+def test_meter_result_carries_latencies():
+    machine = Machine()
+    with Meter(machine, "lat") as meter:
+        machine.cpu.charge(100)
+    result = meter.result(requests=3, latencies_ns=[50.0, 10.0, 40.0])
+    assert result.latencies_ns == [50.0, 10.0, 40.0]
+    assert result.latency_percentile(0.5) == 40.0
+    assert result.latency_percentile(1.0) == 50.0
 
 
 def test_latency_fields():

@@ -69,6 +69,48 @@ def test_cli_with_json_config(tmp_path, capsys):
     assert "vm-rpc" in out or "vm=" in out
 
 
+def test_cli_json_output(capsys):
+    assert (
+        report_main(
+            ["--libs", "libc,netstack,iperf", "--workload", "iperf", "--json"]
+        )
+        == 0
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert data["workload"]["name"] == "iperf"
+    assert data["workload"]["throughput_mbps"] > 0
+    # The caller→callee crossing matrix comes straight from the
+    # metrics registry.
+    matrix = data["crossing_matrix"]
+    assert matrix["iperf"]["netstack"] > 0
+    assert data["metrics"]["counters"]["gate_crossings"] > 0
+    assert data["time_by_compartment_ns"]
+
+
+def test_cli_trace_output(tmp_path, capsys):
+    from repro.obs import validate_chrome_trace
+
+    trace_path = tmp_path / "trace.json"
+    assert (
+        report_main(
+            [
+                "--libs",
+                "libc,netstack,iperf",
+                "--workload",
+                "iperf",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert f"trace written to {trace_path}" in out
+    data = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(data) == []
+    assert any(e.get("cat") == "gate" for e in data["traceEvents"])
+
+
 def test_config_from_harden_flags():
     class Args:
         config = None

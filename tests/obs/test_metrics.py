@@ -1,0 +1,148 @@
+"""Metrics registry semantics: counters, gauges, histograms, edges."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_counter_starts_at_zero_and_accumulates():
+    metrics = MetricsRegistry()
+    assert metrics.counter("nope") == 0.0
+    metrics.inc("hits")
+    metrics.inc("hits", 2.5)
+    assert metrics.counter("hits") == 3.5
+    assert metrics.counters["hits"] == 3.5
+
+
+def test_gauge_last_value_wins():
+    metrics = MetricsRegistry()
+    gauge = metrics.gauge("queue.depth")
+    gauge.set(3)
+    gauge.set(7)
+    assert metrics.gauge("queue.depth") is gauge
+    assert gauge.value == 7.0
+
+
+def test_histogram_summary_and_percentiles():
+    metrics = MetricsRegistry()
+    hist = metrics.histogram("lat")
+    for value in (10, 20, 30, 40):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.mean == 25.0
+    # Nearest-rank: p50 of 4 samples is the 2nd, not the 3rd.
+    assert hist.percentile(0.5) == 20.0
+    assert hist.percentile(0.99) == 40.0
+    summary = hist.summary()
+    assert summary["count"] == 4
+    assert summary["min"] == 10.0 and summary["max"] == 40.0
+    assert summary["p50"] == 20.0 and summary["p99"] == 40.0
+
+
+def test_empty_histogram_summary():
+    assert MetricsRegistry().histogram("empty").summary() == {"count": 0}
+
+
+def test_edges_key_on_kind_and_report_sorted():
+    metrics = MetricsRegistry()
+    first = metrics.edge("a", "b", "funccall")
+    assert metrics.edge("a", "b", "funccall") is first
+    assert metrics.edge("a", "b", "mpk-shared") is not first
+    first.crossings = 3
+    metrics.edge("b", "c", "funccall").crossings = 9
+    report = metrics.edges_report()
+    assert [row["crossings"] for row in report] == [9, 3]
+    # Unused edges are omitted.
+    assert all(row["kind"] != "mpk-shared" for row in report)
+
+
+def test_crossing_matrix_sums_kinds():
+    metrics = MetricsRegistry()
+    metrics.edge("a", "b", "funccall").crossings = 2
+    metrics.edge("a", "b", "mpk-shared").crossings = 5
+    metrics.edge("a", "c", "funccall").crossings = 1
+    assert metrics.crossing_matrix() == {"a": {"b": 7, "c": 1}}
+
+
+def test_snapshot_is_json_ready_and_reset_zeroes():
+    import json
+
+    metrics = MetricsRegistry()
+    metrics.inc("x")
+    metrics.gauge("g").set(4)
+    metrics.histogram("h").observe(1.0)
+    edge = metrics.edge("a", "b", "funccall")
+    edge.crossings = 2
+    snapshot = metrics.snapshot()
+    json.dumps(snapshot)  # must serialise
+    assert snapshot["counters"] == {"x": 1.0}
+    assert snapshot["gauges"] == {"g": 4.0}
+    assert snapshot["histograms"]["h"]["count"] == 1
+    assert snapshot["crossing_matrix"] == {"a": {"b": 2}}
+    metrics.reset()
+    assert metrics.counter("x") == 0.0
+    # Edges keep their identity so gates' references stay live.
+    assert metrics.edge("a", "b", "funccall") is edge
+    assert edge.crossings == 0
+
+
+def test_cpu_stats_is_the_registry_counter_table():
+    image = build_image(BuildConfig(libraries=["libc"]))
+    cpu = image.machine.cpu
+    assert cpu.stats is cpu.metrics.counters
+    cpu.bump("custom", 2)
+    assert cpu.metrics.counter("custom") == 2.0
+    cpu.reset_stats()
+    assert cpu.metrics.counter("custom") == 0.0
+
+
+def test_gate_crossings_feed_registry_edges():
+    image = build_image(
+        BuildConfig(
+            libraries=["libc", "netstack", "iperf"],
+            compartments=[["netstack"], ["sched", "alloc", "libc", "iperf"]],
+            backend="mpk-shared",
+        )
+    )
+    from repro.apps import run_iperf
+
+    run_iperf(image, 1024, 1 << 16)
+    matrix = image.crossing_matrix()
+    assert matrix["iperf"]["netstack"] > 0
+    # The registry's totals agree with the gates' own counters.
+    for caller, callee, kind, crossings in image.crossing_report():
+        edge = image.machine.cpu.metrics.edge(caller, callee, kind)
+        assert edge.crossings == crossings
+    # gate_crossings counts only real boundary crossings; mpk edges
+    # also land in the backend-specific counter.
+    stats = image.machine.cpu.stats
+    assert stats["gate_crossings"] == stats["mpk_crossings"]
+
+
+def test_profile_backend_counts_boundary_crossings():
+    """The 'none' backend's cross-compartment calls now count as gate
+    crossings (unified accounting), while direct in-compartment calls
+    do not."""
+    image = build_image(
+        BuildConfig(
+            libraries=["libc", "netstack", "iperf"],
+            compartments=[["netstack"], ["sched", "alloc", "libc", "iperf"]],
+            backend="none",
+        )
+    )
+    from repro.apps import run_iperf
+
+    run_iperf(image, 1024, 1 << 16)
+    stats = image.machine.cpu.stats
+    assert stats["gate_crossings"] > 0
+    assert stats["direct_calls"] > stats["gate_crossings"]
+    flat = build_image(
+        BuildConfig(
+            libraries=["libc", "netstack", "iperf"],
+            compartments=[["netstack", "sched", "alloc", "libc", "iperf"]],
+            backend="none",
+        )
+    )
+    run_iperf(flat, 1024, 1 << 16)
+    assert flat.machine.cpu.stats.get("gate_crossings", 0) == 0

@@ -1,0 +1,111 @@
+"""Tracer semantics: spans, tracks, and the disabled no-op guarantee."""
+
+import pytest
+
+from repro.obs.tracer import HOST_TRACK, SCHED_TRACK, Tracer
+
+
+def make_tracer(start=0.0):
+    clock = {"now": start}
+    tracer = Tracer(clock=lambda: clock["now"])
+    return tracer, clock
+
+
+def test_disabled_tracer_records_nothing():
+    tracer, clock = make_tracer()
+    tracer.begin("a", "cat")
+    tracer.end()
+    tracer.complete("b", "cat", 0.0)
+    tracer.instant("c", "cat")
+    tracer.counter("d", {"v": 1})
+    with tracer.span("e", "cat"):
+        pass
+    assert tracer.events == []
+    assert tracer.open_spans() == []
+
+
+def test_begin_end_nesting_on_one_track():
+    tracer, clock = make_tracer()
+    tracer.enable()
+    tracer.begin("outer", "gate")
+    clock["now"] = 10.0
+    tracer.begin("inner", "gate")
+    clock["now"] = 20.0
+    tracer.end()
+    clock["now"] = 30.0
+    tracer.end()
+    phases = [(e["name"], e["ph"], e["ts"]) for e in tracer.events]
+    assert phases == [
+        ("outer", "B", 0.0),
+        ("inner", "B", 10.0),
+        ("inner", "E", 20.0),
+        ("outer", "E", 30.0),
+    ]
+    assert tracer.open_spans() == []
+
+
+def test_end_without_begin_raises():
+    tracer, _ = make_tracer()
+    tracer.enable()
+    with pytest.raises(RuntimeError):
+        tracer.end()
+
+
+def test_spans_survive_track_interleaving():
+    """The invoke_gen pattern: a span opened on thread A's track stays
+    open while thread B runs and closes correctly after A resumes."""
+    tracer, clock = make_tracer()
+    tracer.enable()
+    tracer.set_track(2, "thread-a")
+    tracer.begin("a.blocking", "gate")
+    # A blocks; scheduler switches to B.
+    clock["now"] = 5.0
+    tracer.set_track(3, "thread-b")
+    tracer.begin("b.work", "gate")
+    clock["now"] = 8.0
+    tracer.end()
+    # Back to A, which unblocks and returns from its gate.
+    clock["now"] = 12.0
+    tracer.set_track(2)
+    assert tracer.open_spans() == [(2, "a.blocking", "gate")]
+    tracer.end()
+    assert tracer.open_spans() == []
+    by_track = {}
+    for event in tracer.events:
+        by_track.setdefault(event["tid"], []).append(event["ph"])
+    assert by_track == {2: ["B", "E"], 3: ["B", "E"]}
+    assert tracer.track_names[2] == "thread-a"
+
+
+def test_complete_and_instant_events():
+    tracer, clock = make_tracer()
+    tracer.enable()
+    clock["now"] = 100.0
+    tracer.complete("malloc", "alloc", 40.0, bytes=64)
+    tracer.instant("wrpkru", "mpk", value=3)
+    x, i = tracer.events
+    assert x["ph"] == "X" and x["ts"] == 40.0 and x["dur"] == 60.0
+    assert x["args"] == {"bytes": 64}
+    assert i["ph"] == "i" and i["ts"] == 100.0
+
+
+def test_span_context_manager_closes_on_error():
+    tracer, _ = make_tracer()
+    tracer.enable()
+    with pytest.raises(ValueError):
+        with tracer.span("risky", "test"):
+            raise ValueError("boom")
+    assert [e["ph"] for e in tracer.events] == ["B", "E"]
+    assert tracer.open_spans() == []
+
+
+def test_clear_resets_state():
+    tracer, _ = make_tracer()
+    tracer.enable()
+    tracer.set_track(7, "t")
+    tracer.begin("a", "cat")
+    tracer.clear()
+    assert tracer.events == []
+    assert tracer.open_spans() == []
+    assert tracer.current_track == HOST_TRACK
+    assert SCHED_TRACK in tracer.track_names
