@@ -6,15 +6,33 @@ candidate deployment.  The analytic estimator
 unit-free; this module provides the accurate alternative: **build the
 candidate image and run a representative workload in it**, returning
 simulated nanoseconds per request (lower is better).  Expensive by
-comparison (tens of milliseconds of host time per candidate), fine for
-micro-library design spaces with a handful of SH combinations.
+comparison (tens of milliseconds of host time per candidate), so three
+layers keep repeated exploration cheap:
+
+1. an in-process memo keyed by :meth:`Deployment.key` — the partition
+   plus sorted choices, so colorings differing only by a color
+   permutation share one measurement;
+2. an optional persistent :class:`repro.core.perfcache.PerfCache`
+   (``cache_path=``) keyed additionally by workload/backend/config, so
+   a warm second run builds **zero** images;
+3. :func:`measure_many` / ``perf_fn.measure_many`` — fan unmeasured
+   candidates out over a ``concurrent.futures`` executor (each
+   candidate simulates on its own private machine, so measurements are
+   independent and deterministic regardless of schedule).
+
+Build counts and cache traffic land in
+:func:`repro.obs.exploration_metrics` (``explore.builds``,
+``explore.perfcache.*``, ``explore.measure.*``).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.core.config import BuildConfig
+from repro.core.perfcache import PerfCache, candidate_key
+from repro.obs.metrics import exploration_metrics
 
 if TYPE_CHECKING:
     from repro.core.hardening import Deployment
@@ -35,6 +53,7 @@ def build_for_deployment(
     """
     from repro.core.builder import build_image
 
+    exploration_metrics().inc("explore.builds")
     groups = deployment.compartments
     config = BuildConfig(
         libraries=libraries,
@@ -55,33 +74,36 @@ def simulated_perf_fn(
     workload: str = "iperf",
     backend: str = "mpk-shared",
     scale: int = 1,
+    cache_path: str | None = None,
     **config_overrides,
 ) -> Callable[["Deployment"], float]:
     """A ``perf_fn`` for :class:`repro.core.explorer.Explorer`.
 
     Returns simulated **ns per unit of work** (per byte for iperf, per
     request for redis) for each candidate deployment; results are
-    memoised per coloring+choices so repeated strategy queries don't
-    rebuild images.
+    memoised per :meth:`Deployment.key` so repeated strategy queries —
+    and deployments whose colorings differ only by a color
+    permutation — don't rebuild images.  With ``cache_path``, the memo
+    additionally persists across processes (see module docstring).
 
-    The returned callable carries a ``snapshots`` dict mapping each
-    measured deployment key to the image's full metrics snapshot
-    (counters, crossing edges, histograms, clock), so an exploration
-    run can be dissected afterwards — which candidate burned its time
-    on gate crossings vs. hardening overhead — without re-running.
+    The returned callable carries:
+
+    - ``snapshots`` — deployment key → the image's full metrics
+      snapshot (counters, crossing edges, histograms, clock) for every
+      candidate *actually simulated this process*, so an exploration
+      run can be dissected afterwards; persistent-cache hits skip the
+      build and therefore have no snapshot;
+    - ``perf_cache`` — the backing :class:`PerfCache`;
+    - ``measure_many(deployments, workers=None)`` — pre-measure a
+      batch in parallel (see :func:`measure_many`).
     """
     if workload not in ("iperf", "redis"):
         raise ValueError(f"unknown workload {workload!r}")
-    cache: dict = {}
+    perf_cache = PerfCache(cache_path)
+    memo: dict = {}
     snapshots: dict = {}
 
-    def measure(deployment: "Deployment") -> float:
-        key = (
-            tuple(sorted(deployment.coloring.items())),
-            tuple(sorted(deployment.choices.items())),
-        )
-        if key in cache:
-            return cache[key]
+    def simulate(deployment: "Deployment") -> float:
         image = build_for_deployment(
             deployment, libraries, backend, **config_overrides
         )
@@ -113,9 +135,60 @@ def simulated_perf_fn(
                 expect_prefix=b"$",
             )
             cost = result.ns_per_request
-        cache[key] = cost
-        snapshots[key] = image.metrics_snapshot()
+        snapshots[deployment.key()] = image.metrics_snapshot()
         return cost
 
+    def measure(deployment: "Deployment") -> float:
+        key = deployment.key()
+        if key in memo:
+            exploration_metrics().inc("explore.measure.memo_hits")
+            return memo[key]
+        persistent_key = candidate_key(
+            deployment, workload, backend, scale, config_overrides
+        )
+        cost = perf_cache.get(persistent_key)
+        if cost is None:
+            cost = simulate(deployment)
+            perf_cache.put(persistent_key, cost)
+        memo[key] = cost
+        return cost
+
+    def batch(
+        deployments: Iterable["Deployment"], workers: int | None = None
+    ) -> list[float]:
+        return measure_many(measure, deployments, workers=workers)
+
     measure.snapshots = snapshots
+    measure.perf_cache = perf_cache
+    measure.measure_many = batch
     return measure
+
+
+def measure_many(
+    perf_fn: Callable[["Deployment"], float],
+    deployments: Iterable["Deployment"],
+    workers: int | None = None,
+) -> list[float]:
+    """Measure a batch of candidates concurrently; returns their costs
+    in input order.
+
+    Candidates sharing a :meth:`Deployment.key` are measured once: the
+    batch is deduplicated before dispatch so two threads never build
+    the same image.  Each simulation runs on its own private machine
+    and the memo/cache writes are plain dict stores, so results are
+    identical to sequential measurement.
+    """
+    deployments = list(deployments)
+    unique: dict = {}
+    for deployment in deployments:
+        unique.setdefault(deployment.key(), deployment)
+    exploration_metrics().inc("explore.measure.batches")
+    if len(unique) <= 1 or workers == 1:
+        costs = {key: perf_fn(d) for key, d in unique.items()}
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            futures = {
+                key: executor.submit(perf_fn, d) for key, d in unique.items()
+            }
+            costs = {key: future.result() for key, future in futures.items()}
+    return [costs[deployment.key()] for deployment in deployments]

@@ -146,6 +146,44 @@ def minimum_coloring(
     return dsatur_coloring(nodes, edges)
 
 
+class ColoringCache:
+    """Memoizes :func:`minimum_coloring` by conflict-graph signature.
+
+    Many SH-variant combinations induce *identical* conflict edge sets
+    (hardening one library often leaves every other pair untouched), so
+    the exponential enumeration keeps re-coloring the same graph.  The
+    canonical signature is the node tuple plus the frozenset of edges:
+    equal signatures get the exact same (cached) coloring back, so the
+    memoized path is bit-identical to calling the solver directly.
+    """
+
+    def __init__(self, exact_limit: int = 24) -> None:
+        self.exact_limit = exact_limit
+        self.hits = 0
+        self.misses = 0
+        self._memo: dict[
+            tuple[tuple[str, ...], frozenset[frozenset[str]]], dict[str, int]
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def minimum_coloring(
+        self, nodes: list[str], edges: Iterable[frozenset[str]]
+    ) -> dict[str, int]:
+        """Cached :func:`minimum_coloring` (returns a fresh dict copy)."""
+        signature = (tuple(nodes), frozenset(edges))
+        cached = self._memo.get(signature)
+        if cached is None:
+            self.misses += 1
+            cached = self._memo[signature] = minimum_coloring(
+                nodes, signature[1], exact_limit=self.exact_limit
+            )
+        else:
+            self.hits += 1
+        return dict(cached)
+
+
 def color_classes(coloring: dict[str, int]) -> list[list[str]]:
     """Group nodes by color: the compartment contents, sorted stably."""
     classes: dict[int, list[str]] = {}

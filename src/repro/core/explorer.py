@@ -18,10 +18,18 @@ this).
 
 from __future__ import annotations
 
-from typing import Callable
+import time
+from typing import Callable, Iterator
 
+from repro.core.coloring import ColoringCache
 from repro.core.errors import CompatibilityError
-from repro.core.hardening import Deployment, LibraryDef, enumerate_deployments
+from repro.core.hardening import (
+    Deployment,
+    LibraryDef,
+    iter_deployments,
+    sh_variants,
+)
+from repro.obs.metrics import exploration_metrics
 
 #: Relative runtime weight of each SH technique (used by the analytic
 #: estimator; roughly proportional to the measured Table-1 overheads).
@@ -42,6 +50,7 @@ def estimate_crossing_cost(
     libdefs: list[LibraryDef],
     crossing_weight: float = 1.0,
     sh_weight: float = 1.0,
+    backend: str | None = None,
 ) -> float:
     """Analytic cost: boundary call-graph edges + SH instrumentation.
 
@@ -49,21 +58,61 @@ def estimate_crossing_cost(
     compartment boundary — each such edge becomes a gate at runtime —
     plus a weight for every hardened library.  Unit-free: useful for
     ranking candidate deployments, not for absolute predictions.
+
+    ``backend`` optionally scales the crossing term by the gate
+    registry's relative per-crossing cost (normalised to ``mpk-shared``
+    = 1), so the analytic ranking agrees with what a measured run on
+    that backend would find — a VM-RPC crossing is far dearer relative
+    to SH instrumentation than an MPK one.  The default (no backend)
+    keeps the historical unit weight.
     """
-    by_name = {libdef.name: libdef for libdef in libdefs}
-    crossings = 0
-    for name, color in deployment.coloring.items():
-        calls = by_name[name].true_behavior.get("calls") or []
-        for target in calls:
-            callee = target.split("::", 1)[0]
-            if callee in deployment.coloring and deployment.coloring[callee] != color:
-                crossings += 1
-    sh_cost = sum(
-        SH_WEIGHTS.get(technique, 1.0)
-        for techniques in deployment.choices.values()
-        for technique in techniques
+    return crossing_cost_fn(libdefs, crossing_weight, sh_weight, backend)(
+        deployment
     )
-    return crossing_weight * crossings + sh_weight * sh_cost
+
+
+def crossing_cost_fn(
+    libdefs: list[LibraryDef],
+    crossing_weight: float = 1.0,
+    sh_weight: float = 1.0,
+    backend: str | None = None,
+) -> Callable[[Deployment], float]:
+    """:func:`estimate_crossing_cost` pre-bound to one library set.
+
+    Resolves the per-library callee lists and the backend weight once,
+    so evaluating tens of thousands of enumeration candidates doesn't
+    rebuild them per call.  Same numbers as the plain function.
+    """
+    if backend is not None:
+        from repro.gates.registry import relative_crossing_cost
+
+        crossing_weight = crossing_weight * (
+            relative_crossing_cost(backend)
+            / relative_crossing_cost("mpk-shared")
+        )
+    callees_by_name = {
+        libdef.name: tuple(
+            target.split("::", 1)[0]
+            for target in (libdef.true_behavior.get("calls") or [])
+        )
+        for libdef in libdefs
+    }
+
+    def cost(deployment: Deployment) -> float:
+        coloring = deployment.coloring
+        crossings = 0
+        for name, color in coloring.items():
+            for callee in callees_by_name.get(name, ()):
+                if callee in coloring and coloring[callee] != color:
+                    crossings += 1
+        sh_cost = sum(
+            SH_WEIGHTS.get(technique, 1.0)
+            for techniques in deployment.choices.values()
+            for technique in techniques
+        )
+        return crossing_weight * crossings + sh_weight * sh_cost
+
+    return cost
 
 
 def security_score(deployment: Deployment) -> float:
@@ -164,58 +213,170 @@ def backend_for_device(
 
 
 class Explorer:
-    """Enumerates and ranks feasible deployments for a library set."""
+    """Enumerates and ranks feasible deployments for a library set.
+
+    Enumeration is **lazy**: candidates stream out of
+    :func:`repro.core.hardening.iter_deployments` (pairwise variant
+    matrix + coloring memo) and are materialized incrementally, so a
+    strategy query that short-circuits never pays for the tail of the
+    variant product.  Materialized candidates are kept, so repeated
+    queries never re-enumerate.
+
+    ``prune_dominated=True`` applies the cost-dominance filter from
+    :func:`iter_deployments` to the whole exploration — correct for
+    cost-minimizing queries, *not* for ``max_security_within_budget``
+    (see the pruning note there).
+
+    Per-phase host timings and cache statistics land in the shared
+    :func:`repro.obs.exploration_metrics` registry
+    (``explore.enumerate_host_ns``, ``explore.query_host_ns``, …).
+    """
 
     def __init__(
         self,
         libdefs: list[LibraryDef],
         alternatives: bool = False,
         isolate: tuple[str, ...] = (),
+        prune_dominated: bool = False,
     ) -> None:
         self.libdefs = libdefs
-        self._deployments = enumerate_deployments(
-            libdefs, alternatives, isolate=isolate
+        self._alternatives = alternatives
+        self._stats: dict = {}
+        self.coloring_cache = ColoringCache()
+        self._source = iter_deployments(
+            libdefs,
+            alternatives,
+            isolate=isolate,
+            prune_dominated=prune_dominated,
+            coloring_cache=self.coloring_cache,
+            stats=self._stats,
         )
+        self._materialized: list[Deployment] = []
+        self._exhausted = False
+        self._default_perf: Callable[[Deployment], float] | None = None
+
+    def _iter(self) -> Iterator[Deployment]:
+        """Reentrant lazy iteration over all deployments."""
+        metrics = exploration_metrics()
+        index = 0
+        while True:
+            while index < len(self._materialized):
+                yield self._materialized[index]
+                index += 1
+            if self._exhausted:
+                return
+            started = time.perf_counter_ns()
+            try:
+                deployment = next(self._source)
+            except StopIteration:
+                self._exhausted = True
+                deployment = None
+            metrics.inc(
+                "explore.enumerate_host_ns", time.perf_counter_ns() - started
+            )
+            if deployment is not None:
+                self._materialized.append(deployment)
 
     @property
     def deployments(self) -> list[Deployment]:
         """Every feasible deployment (SH combination × coloring)."""
-        return list(self._deployments)
+        return list(self._iter())
+
+    def exploration_stats(self) -> dict:
+        """Matrix/memo/pruning counters for the enumeration so far."""
+        return {
+            **self._stats,
+            "materialized": len(self._materialized),
+            "exhausted": self._exhausted,
+            "coloring_memo_size": len(self.coloring_cache),
+        }
 
     def default_perf(self, deployment: Deployment) -> float:
         """The analytic cost estimator bound to this library set."""
-        return estimate_crossing_cost(deployment, self.libdefs)
+        if self._default_perf is None:
+            self._default_perf = crossing_cost_fn(self.libdefs)
+        return self._default_perf(deployment)
+
+    def _security_upper_bound(self) -> float:
+        """No deployment of this library set can score higher."""
+        max_techniques = sum(
+            max(len(variant) for variant in sh_variants(libdef, self._alternatives))
+            for libdef in self.libdefs
+        )
+        return 5.0 * (len(self.libdefs) - 1) + 2.0 * max_techniques
+
+    def _timed_query(self, name: str):
+        """Context manager charging query host-time to the obs registry."""
+
+        class _Timer:
+            def __enter__(timer):
+                timer.started = time.perf_counter_ns()
+                return timer
+
+            def __exit__(timer, *exc) -> None:
+                metrics = exploration_metrics()
+                elapsed = time.perf_counter_ns() - timer.started
+                metrics.inc("explore.query_host_ns", elapsed)
+                metrics.inc(f"explore.queries.{name}")
+                metrics.histogram("explore.query_ns").observe(elapsed)
+
+        return _Timer()
 
     def max_security_within_budget(
         self,
         budget: float,
         perf_fn: Callable[[Deployment], float] | None = None,
     ) -> Deployment | None:
-        """Strategy 1: the safest deployment whose cost fits the budget."""
+        """Strategy 1: the safest deployment whose cost fits the budget.
+
+        Streams over the lazy enumeration and stops early when a
+        candidate within budget reaches the library set's security
+        upper bound — the rest of the product cannot beat it.
+        """
         perf = perf_fn if perf_fn is not None else self.default_perf
-        candidates = [d for d in self._deployments if perf(d) <= budget]
-        if not candidates:
-            return None
-        return max(candidates, key=security_score)
+        bound = self._security_upper_bound()
+        best: Deployment | None = None
+        best_score = float("-inf")
+        with self._timed_query("max_security_within_budget"):
+            for deployment in self._iter():
+                if perf(deployment) > budget:
+                    continue
+                score = security_score(deployment)
+                if score > best_score:
+                    best, best_score = deployment, score
+                    if best_score >= bound:
+                        break
+        return best
 
     def best_performance_meeting(
         self,
         requirements: list[str],
         perf_fn: Callable[[Deployment], float] | None = None,
+        stop_at: float | None = None,
     ) -> Deployment | None:
-        """Strategy 2: the cheapest deployment meeting all requirements."""
+        """Strategy 2: the cheapest deployment meeting all requirements.
+
+        ``stop_at`` optionally short-circuits the scan: the first
+        compliant candidate at or below that cost is returned
+        immediately (useful when any deployment under a known floor —
+        e.g. zero boundary crossings — is good enough).
+        """
         perf = perf_fn if perf_fn is not None else self.default_perf
-        candidates = [
-            d
-            for d in self._deployments
-            if all(
-                requirement_satisfied(d, requirement, self.libdefs)
-                for requirement in requirements
-            )
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=perf)
+        best: Deployment | None = None
+        best_cost = float("inf")
+        with self._timed_query("best_performance_meeting"):
+            for deployment in self._iter():
+                if not all(
+                    requirement_satisfied(deployment, requirement, self.libdefs)
+                    for requirement in requirements
+                ):
+                    continue
+                cost = perf(deployment)
+                if cost < best_cost:
+                    best, best_cost = deployment, cost
+                    if stop_at is not None and best_cost <= stop_at:
+                        break
+        return best
 
     def most_portable(
         self,
@@ -237,19 +398,20 @@ class Explorer:
         perf = perf_fn if perf_fn is not None else self.default_perf
         best: tuple[Deployment, dict[str, str]] | None = None
         best_key: tuple[int, float] | None = None
-        for deployment in self._deployments:
-            if not all(
-                requirement_satisfied(deployment, requirement, self.libdefs)
-                for requirement in requirements
-            ):
-                continue
-            placements = {}
-            for device, backends in device_map.items():
-                backend = backend_for_device(deployment, backends)
-                if backend is not None:
-                    placements[device] = backend
-            key = (-len(placements), perf(deployment))
-            if best_key is None or key < best_key:
-                best_key = key
-                best = (deployment, placements)
+        with self._timed_query("most_portable"):
+            for deployment in self._iter():
+                if not all(
+                    requirement_satisfied(deployment, requirement, self.libdefs)
+                    for requirement in requirements
+                ):
+                    continue
+                placements = {}
+                for device, backends in device_map.items():
+                    backend = backend_for_device(deployment, backends)
+                    if backend is not None:
+                        placements[device] = backend
+                key = (-len(placements), perf(deployment))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (deployment, placements)
         return best

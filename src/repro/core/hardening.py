@@ -23,8 +23,8 @@ from __future__ import annotations
 import dataclasses
 import itertools
 
-from repro.core.compatibility import conflict_graph
-from repro.core.coloring import color_classes, minimum_coloring
+from repro.core.compatibility import CompatibilityMatrix, conflict_graph
+from repro.core.coloring import ColoringCache, color_classes, minimum_coloring
 from repro.core.errors import SpecError
 from repro.core.metadata import LibrarySpec, Region
 
@@ -202,6 +202,31 @@ class Deployment:
         """Libraries built with at least one SH technique."""
         return sorted(name for name, techs in self.choices.items() if techs)
 
+    def partition(self) -> frozenset[frozenset[str]]:
+        """The compartment layout as an unordered set partition.
+
+        Color *labels* are an artefact of the solver: two colorings
+        that differ only by a color permutation describe the same
+        physical layout.  The partition is the label-free form.
+        """
+        return frozenset(
+            frozenset(members) for members in color_classes(self.coloring)
+        )
+
+    def key(self) -> tuple:
+        """Stable, hashable identity: partition + sorted SH choices.
+
+        Two deployments with the same key build the same image (same
+        compartment grouping, same hardening), so this is the one
+        cache/equality key every layer should use — the perf memo, the
+        persistent cache, and result comparisons across enumeration
+        paths.
+        """
+        return (
+            self.partition(),
+            tuple(sorted(self.choices.items())),
+        )
+
     def describe(self) -> str:
         """Human-readable one-paragraph summary."""
         parts = []
@@ -219,10 +244,138 @@ class Deployment:
         return "; ".join(parts)
 
 
+def _validate_isolate(
+    libdefs: list[LibraryDef], isolate: tuple[str, ...]
+) -> None:
+    names = {libdef.name for libdef in libdefs}
+    for name in isolate:
+        if name not in names:
+            raise SpecError(f"isolate names unknown library {name!r}")
+
+
+def _isolate_edges(
+    names: list[str], isolate: tuple[str, ...]
+) -> set[frozenset[str]]:
+    return {
+        frozenset({name, other})
+        for name in isolate
+        for other in names
+        if other != name
+    }
+
+
+def iter_deployments(
+    libdefs: list[LibraryDef],
+    alternatives: bool = False,
+    isolate: tuple[str, ...] = (),
+    prune_dominated: bool = False,
+    coloring_cache: ColoringCache | None = None,
+    stats: dict | None = None,
+):
+    """Lazily yield all SH-variant combinations, each minimally colored.
+
+    The fast path behind :func:`enumerate_deployments`: the pairwise
+    compatibility matrix is computed once over all library *variants*
+    (each ``can_share`` depends only on the two specs), each distinct
+    conflict-graph signature is colored once (``coloring_cache``), and
+    deployments stream out so strategy queries can short-circuit
+    without materializing the full variant product.  Yields the exact
+    deployments the eager path produces, in the same order.
+
+    ``prune_dominated=True`` additionally skips any deployment whose
+    effective specs are identical to an earlier-yielded one with a
+    pointwise subset of its SH techniques: the extra techniques changed
+    no spec, so the layout, requirement satisfaction, and conflict
+    structure are identical while every cost model charges at least as
+    much.  Valid for cost-minimizing queries; **not** for security
+    maximization (``security_score`` rewards technique count).
+
+    ``stats``, when given, is filled with matrix/memo/pruning counters.
+    """
+    _validate_isolate(libdefs, isolate)
+    names = [libdef.name for libdef in libdefs]
+    if len(set(names)) != len(names):
+        raise SpecError("duplicate library names in libdef list")
+    return _iter_deployments(
+        libdefs, names, alternatives, isolate, prune_dominated,
+        coloring_cache, stats,
+    )
+
+
+def _iter_deployments(
+    libdefs: list[LibraryDef],
+    names: list[str],
+    alternatives: bool,
+    isolate: tuple[str, ...],
+    prune_dominated: bool,
+    coloring_cache: ColoringCache | None,
+    stats: dict | None,
+):
+    """Generator body of :func:`iter_deployments` (validation is eager
+    in the wrapper so bad arguments raise at call time, not first
+    ``next()``)."""
+    option_lists = [sh_variants(libdef, alternatives) for libdef in libdefs]
+    variant_specs = {
+        libdef.name: [
+            transform_spec(libdef, techniques) for techniques in options
+        ]
+        for libdef, options in zip(libdefs, option_lists)
+    }
+    matrix = CompatibilityMatrix(variant_specs)
+    cache = coloring_cache if coloring_cache is not None else ColoringCache()
+    extra_edges = _isolate_edges(names, isolate)
+    if stats is not None:
+        stats["pairs_checked"] = matrix.pairs_checked
+        stats["combos"] = 0
+        stats["pruned"] = 0
+    # spec tuple → technique choices already yielded with those specs,
+    # for dominance pruning.  Variant lists start with ``()`` so a
+    # dominating (subset) combination always precedes the dominated one
+    # in product order.
+    yielded_for_specs: dict[tuple, list[tuple]] = {}
+    index_ranges = [range(len(options)) for options in option_lists]
+    for indices in itertools.product(*index_ranges):
+        choices = {
+            name: option_lists[position][index]
+            for position, (name, index) in enumerate(zip(names, indices))
+        }
+        specs = {
+            name: variant_specs[name][index]
+            for name, index in zip(names, indices)
+        }
+        if prune_dominated:
+            spec_signature = tuple(specs[name] for name in names)
+            seen = yielded_for_specs.setdefault(spec_signature, [])
+            technique_sets = tuple(
+                frozenset(choices[name]) for name in names
+            )
+            if any(
+                all(
+                    earlier_set <= current_set
+                    for earlier_set, current_set in zip(earlier, technique_sets)
+                )
+                for earlier in seen
+            ):
+                if stats is not None:
+                    stats["pruned"] += 1
+                continue
+            seen.append(technique_sets)
+        edges = matrix.edges_for(dict(zip(names, indices)))
+        if extra_edges:
+            edges |= extra_edges
+        coloring = cache.minimum_coloring(names, edges)
+        if stats is not None:
+            stats["combos"] += 1
+            stats["coloring_hits"] = cache.hits
+            stats["coloring_misses"] = cache.misses
+        yield Deployment(choices=choices, specs=specs, coloring=coloring)
+
+
 def enumerate_deployments(
     libdefs: list[LibraryDef],
     alternatives: bool = False,
     isolate: tuple[str, ...] = (),
+    eager: bool = False,
 ) -> list[Deployment]:
     """All SH-variant combinations, each minimally colored.
 
@@ -234,11 +387,17 @@ def enumerate_deployments(
     "set of predefined compartments (e.g. isolate the application and
     the network stack from everything else)".  Implemented as extra
     conflict edges, so the coloring still minimises everything else.
+
+    By default this materializes :func:`iter_deployments` (pairwise
+    matrix + coloring memo).  ``eager=True`` runs the original
+    per-combination pipeline — a full ``conflict_graph`` and a fresh
+    ``minimum_coloring`` per combo — kept as the reference
+    implementation the fast path is benchmarked and property-tested
+    against.
     """
-    names = {libdef.name for libdef in libdefs}
-    for name in isolate:
-        if name not in names:
-            raise SpecError(f"isolate names unknown library {name!r}")
+    if not eager:
+        return list(iter_deployments(libdefs, alternatives, isolate=isolate))
+    _validate_isolate(libdefs, isolate)
     option_lists = [sh_variants(libdef, alternatives) for libdef in libdefs]
     deployments = []
     for combo in itertools.product(*option_lists):

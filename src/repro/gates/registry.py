@@ -27,6 +27,48 @@ GATE_KINDS: dict[str, type[Gate]] = {
 }
 
 
+def relative_crossing_cost(
+    kind: str,
+    cost=None,
+    word_bytes: int = 8,
+) -> float:
+    """Estimated round-trip nanoseconds of one crossing through ``kind``.
+
+    A static stand-in for what the gates actually charge at runtime
+    (fixed parts only, one word of arguments, default options), so the
+    analytic explorer can rank deployments consistently with the
+    backend they will really run on — a VM-RPC crossing is ~two orders
+    of magnitude dearer than an MPK one, and a cost estimator that
+    weighs them equally inverts rankings the measured path gets right.
+    ``"none"``/``"direct"``/``"profile"`` crossings are plain function
+    calls.
+    """
+    if cost is None:
+        from repro.machine.cycles import CostModel
+
+        cost = CostModel()
+    base = cost.call_ns + cost.ret_ns
+    if kind in ("none", DirectChannel.KIND, ProfileChannel.KIND):
+        return base
+    if kind == MPKSharedStackGate.KIND:
+        return base + cost.gate_dispatch_ns + 2 * cost.wrpkru_ns
+    if kind == MPKSwitchedStackGate.KIND:
+        copy_ns = cost.mem_op_ns + word_bytes * cost.mem_byte_ns * 2
+        return (
+            base
+            + cost.gate_dispatch_ns
+            + 2 * cost.wrpkru_ns
+            + 2 * (cost.stack_switch_ns + copy_ns)
+        )
+    if kind == CHERIGate.KIND:
+        return base + 2 * cost.cheri_crossing_ns + cost.cheri_grant_ns
+    if kind == VMRPCGate.KIND:
+        return base + 2 * (cost.vm_notify_ns + word_bytes * cost.vm_copy_byte_ns)
+    raise GateError(
+        f"unknown gate kind {kind!r}; known: {sorted(GATE_KINDS) + ['none']}"
+    )
+
+
 def make_gate(
     kind: str,
     machine: "Machine",

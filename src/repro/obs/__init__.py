@@ -29,7 +29,13 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics_json,
 )
-from repro.obs.metrics import EdgeStats, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    EdgeStats,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exploration_metrics,
+)
 from repro.obs.tracer import HOST_TRACK, SCHED_TRACK, Tracer
 
 __all__ = [
@@ -42,6 +48,7 @@ __all__ = [
     "SCHED_TRACK",
     "Tracer",
     "chrome_trace",
+    "exploration_metrics",
     "metrics_json",
     "validate_chrome_trace",
     "write_chrome_trace",

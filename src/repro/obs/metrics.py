@@ -184,3 +184,18 @@ class MetricsRegistry:
         self._histograms.clear()
         for edge in self._edges.values():
             edge.crossings = 0
+
+
+#: Process-wide registry for the design-space exploration pipeline.
+#: Unlike the per-machine registries (one per simulated CPU), the
+#: explorer, the coloring memo, and the persistent perf cache run on
+#: the *host* across many candidate images, so their bookkeeping —
+#: cache hits/misses, image-build counts, per-phase host timings —
+#: lives in one shared registry that reports and benchmarks can
+#: snapshot after a run.
+_EXPLORATION = MetricsRegistry()
+
+
+def exploration_metrics() -> MetricsRegistry:
+    """The shared exploration-pipeline registry (see note above)."""
+    return _EXPLORATION

@@ -24,7 +24,7 @@ import pathlib
 
 from repro.core.builder import build_image
 from repro.core.config import BuildConfig
-from repro.obs import write_chrome_trace
+from repro.obs import exploration_metrics, write_chrome_trace
 
 
 def run_workload(image, workload: str) -> tuple[str, dict]:
@@ -99,6 +99,11 @@ def collect(
         "time_by_compartment_ns": dict(image.machine.cpu.domain_time_ns),
         "memory": image.memory_report(),
         "metrics": image.metrics_snapshot(),
+        # Host-side exploration-pipeline statistics (perf-cache and
+        # coloring-memo hit rates, image-build counts, query timings).
+        # All zeros unless this process also ran the explorer, but the
+        # key is always present so CI can diff report shapes.
+        "exploration": exploration_metrics().snapshot(),
         "trace_file": str(trace_path) if trace_path else None,
     }
 

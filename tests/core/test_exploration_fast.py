@@ -1,0 +1,302 @@
+"""The exploration fast path: matrix, coloring memo, lazy enumeration.
+
+Property-style tests (seeded random instances) pinning the fast
+pipeline to its reference implementations:
+
+- the variant compatibility matrix reproduces ``conflict_graph``;
+- lazy (and pruned) enumeration yields the same deployments as the
+  eager per-combination path;
+- the coloring memo is bit-identical to calling the solver;
+- ``exact_coloring`` matches DSATUR's color count whenever DSATUR is
+  provably optimal (count == clique lower bound);
+- ``Deployment.key()`` is color-permutation invariant.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.coloring import (
+    ColoringCache,
+    dsatur_coloring,
+    exact_coloring,
+    minimum_coloring,
+    verify_coloring,
+    _max_clique_lower_bound,
+    _adjacency,
+)
+from repro.core.compatibility import CompatibilityMatrix, conflict_graph
+from repro.core.explorer import Explorer, estimate_crossing_cost
+from repro.core.hardening import (
+    Deployment,
+    LibraryDef,
+    enumerate_deployments,
+    iter_deployments,
+    transform_spec,
+    sh_variants,
+)
+from repro.core.metadata import LibrarySpec, Region, Requires
+
+
+def random_spec(rng: random.Random, name: str) -> LibrarySpec:
+    """A random but plausible library spec."""
+    wild = rng.random() < 0.5
+    requires = None
+    if rng.random() < 0.5:
+        requires = Requires(
+            writes=(
+                frozenset({Region.SHARED})
+                if rng.random() < 0.5
+                else frozenset({Region.OWN, Region.SHARED})
+            ),
+            reads=(
+                frozenset({Region.OWN, Region.SHARED})
+                if rng.random() < 0.3
+                else None
+            ),
+            calls=frozenset({"init", "step"}) if rng.random() < 0.3 else None,
+        )
+    return LibrarySpec(
+        name=name,
+        reads=frozenset({Region.ALL})
+        if wild
+        else frozenset({Region.OWN, Region.SHARED}),
+        writes=frozenset({Region.ALL})
+        if wild
+        else frozenset({Region.OWN, Region.SHARED}),
+        calls=None if rng.random() < 0.4 else frozenset({f"{name}x::init"}),
+        requires=requires,
+    )
+
+
+def random_libdef(rng: random.Random, name: str) -> LibraryDef:
+    spec = random_spec(rng, name)
+    behavior = {}
+    if rng.random() < 0.8:
+        behavior["writes"] = ["Own", "Shared"]
+        behavior["reads"] = ["Own", "Shared"]
+    if rng.random() < 0.5:
+        behavior["calls"] = [f"{name}x::init"]
+    return LibraryDef(name=name, spec=spec, true_behavior=behavior)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_matrix_matches_conflict_graph(seed):
+    """Every selection's edges from the matrix == a fresh conflict_graph."""
+    rng = random.Random(seed)
+    libdefs = [random_libdef(rng, f"lib{i}") for i in range(4)]
+    variant_specs = {
+        libdef.name: [
+            transform_spec(libdef, techs)
+            for techs in sh_variants(libdef, alternatives=True)
+        ]
+        for libdef in libdefs
+    }
+    matrix = CompatibilityMatrix(variant_specs)
+    ranges = [range(len(specs)) for specs in variant_specs.values()]
+    for indices in itertools.product(*ranges):
+        selection = dict(zip(variant_specs, indices))
+        selected = [
+            variant_specs[name][index] for name, index in selection.items()
+        ]
+        nodes, edges = conflict_graph(selected)
+        matrix_nodes, matrix_edges = matrix.conflict_graph(selection)
+        assert matrix_nodes == nodes
+        assert matrix_edges == edges
+        for (a, i), (b, j) in itertools.combinations(selection.items(), 2):
+            assert matrix.conflicts(a, i, b, j) == (
+                frozenset({a, b}) in edges
+            )
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("alternatives", [False, True])
+def test_lazy_enumeration_matches_eager(seed, alternatives):
+    rng = random.Random(seed)
+    libdefs = [random_libdef(rng, f"lib{i}") for i in range(4)]
+    eager = enumerate_deployments(libdefs, alternatives, eager=True)
+    fast = list(iter_deployments(libdefs, alternatives))
+    assert fast == eager  # same deployments, same order, bit-identical
+    assert [d.key() for d in fast] == [d.key() for d in eager]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_pruned_enumeration_preserves_cheapest(seed):
+    """Pruning drops only cost-dominated candidates: the same deployment
+    set by key survives for every spec signature's cheapest member, and
+    the analytic minimum is unchanged."""
+    rng = random.Random(seed)
+    libdefs = [random_libdef(rng, f"lib{i}") for i in range(4)]
+    full = list(iter_deployments(libdefs, alternatives=True))
+    pruned = list(iter_deployments(libdefs, alternatives=True, prune_dominated=True))
+    full_keys = {d.key() for d in full}
+    assert {d.key() for d in pruned} <= full_keys
+    assert min(
+        estimate_crossing_cost(d, libdefs) for d in pruned
+    ) == min(estimate_crossing_cost(d, libdefs) for d in full)
+
+
+def test_isolate_edges_preserved_on_fast_path():
+    rng = random.Random(42)
+    libdefs = [random_libdef(rng, f"lib{i}") for i in range(4)]
+    eager = enumerate_deployments(libdefs, isolate=("lib2",), eager=True)
+    fast = enumerate_deployments(libdefs, isolate=("lib2",))
+    assert fast == eager
+    for deployment in fast:
+        alone = [
+            name
+            for name, color in deployment.coloring.items()
+            if color == deployment.coloring["lib2"]
+        ]
+        assert alone == ["lib2"]
+
+
+def random_graph(rng: random.Random, size: int, density: float):
+    nodes = [f"n{i}" for i in range(size)]
+    edges = {
+        frozenset({a, b})
+        for a, b in itertools.combinations(nodes, 2)
+        if rng.random() < density
+    }
+    return nodes, edges
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_exact_matches_dsatur_when_dsatur_optimal(seed):
+    rng = random.Random(seed)
+    nodes, edges = random_graph(rng, rng.randint(4, 9), rng.random() * 0.7)
+    dsatur = dsatur_coloring(nodes, edges)
+    exact = exact_coloring(nodes, edges)
+    assert verify_coloring(edges, dsatur)
+    assert verify_coloring(edges, exact)
+    dsatur_count = max(dsatur.values()) + 1
+    exact_count = max(exact.values()) + 1
+    assert exact_count <= dsatur_count
+    lower = _max_clique_lower_bound(_adjacency(nodes, edges))
+    if dsatur_count == lower:  # DSATUR provably optimal here
+        assert exact_count == dsatur_count
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_coloring_cache_bit_identical_and_hits(seed):
+    rng = random.Random(seed)
+    nodes, edges = random_graph(rng, 7, 0.4)
+    cache = ColoringCache()
+    first = cache.minimum_coloring(nodes, edges)
+    direct = minimum_coloring(nodes, edges)
+    assert first == direct
+    assert cache.misses == 1 and cache.hits == 0
+    second = cache.minimum_coloring(nodes, edges)
+    assert second == first
+    assert cache.hits == 1
+    # Cached results are copies: mutating one must not poison the memo.
+    second["poison"] = 99
+    assert "poison" not in cache.minimum_coloring(nodes, edges)
+
+
+def _deployment(coloring: dict[str, int]) -> Deployment:
+    specs = {
+        name: LibrarySpec(name=name) for name in coloring
+    }
+    choices = {name: () for name in coloring}
+    return Deployment(choices=choices, specs=specs, coloring=coloring)
+
+
+def test_deployment_key_is_color_permutation_invariant():
+    one = _deployment({"a": 0, "b": 1, "c": 0})
+    # Same partition {a,c} | {b}, colors swapped.
+    two = _deployment({"a": 1, "b": 0, "c": 1})
+    other = _deployment({"a": 0, "b": 1, "c": 1})
+    assert one.key() == two.key()
+    assert hash(one.key()) == hash(two.key())
+    assert one.key() != other.key()
+    assert one.partition() == frozenset(
+        {frozenset({"a", "c"}), frozenset({"b"})}
+    )
+
+
+def test_deployment_key_reflects_choices():
+    base = {"a": 0, "b": 1}
+    plain = Deployment(
+        choices={"a": (), "b": ()},
+        specs={n: LibrarySpec(name=n) for n in base},
+        coloring=base,
+    )
+    hardened = Deployment(
+        choices={"a": ("asan",), "b": ()},
+        specs={n: LibrarySpec(name=n) for n in base},
+        coloring=base,
+    )
+    assert plain.key() != hardened.key()
+    assert plain.key() == plain.key()
+
+
+def test_estimator_backend_weights_rank_consistently():
+    """A multi-compartment deployment costs more under dearer backends."""
+    specs = {n: LibrarySpec(name=n) for n in ("a", "b")}
+    libdefs = [
+        LibraryDef(name="a", spec=specs["a"], true_behavior={"calls": ["b::f"]}),
+        LibraryDef(name="b", spec=specs["b"], true_behavior={"calls": []}),
+    ]
+    split = Deployment(
+        choices={"a": (), "b": ()},
+        specs={
+            "a": LibrarySpec(name="a", calls=frozenset({"b::f"})),
+            "b": LibrarySpec(name="b", calls=frozenset()),
+        },
+        coloring={"a": 0, "b": 1},
+    )
+    default = estimate_crossing_cost(split, libdefs)
+    mpk = estimate_crossing_cost(split, libdefs, backend="mpk-shared")
+    vm = estimate_crossing_cost(split, libdefs, backend="vm-rpc")
+    cheri = estimate_crossing_cost(split, libdefs, backend="cheri")
+    assert default == mpk  # mpk-shared is the normalisation point
+    assert vm > mpk > cheri
+    with pytest.raises(Exception):
+        estimate_crossing_cost(split, libdefs, backend="quantum")
+
+
+def test_explorer_streams_lazily():
+    """Strategy queries must not force the whole variant product."""
+    rng = random.Random(7)
+    libdefs = [random_libdef(rng, f"lib{i}") for i in range(6)]
+    explorer = Explorer(libdefs, alternatives=True)
+    # stop_at=0 with a free perf fn returns on the first compliant
+    # candidate; the product must not be exhausted afterwards.
+    found = explorer.best_performance_meeting(
+        [], perf_fn=lambda d: 0.0, stop_at=0.0
+    )
+    assert found is not None
+    stats = explorer.exploration_stats()
+    total = 1
+    for libdef in libdefs:
+        total *= len(sh_variants(libdef, alternatives=True))
+    assert stats["materialized"] < total
+    assert not stats["exhausted"]
+    # Full materialization still works afterwards and is stable.
+    assert len(explorer.deployments) == total
+    assert explorer.exploration_stats()["exhausted"]
+
+
+def test_explorer_strategies_match_eager_reference():
+    rng = random.Random(11)
+    libdefs = [random_libdef(rng, f"lib{i}") for i in range(4)]
+    eager = enumerate_deployments(libdefs, alternatives=True, eager=True)
+    explorer = Explorer(libdefs, alternatives=True)
+
+    from repro.core.explorer import requirement_satisfied, security_score
+
+    perf = lambda d: estimate_crossing_cost(d, libdefs)  # noqa: E731
+    within = [d for d in eager if perf(d) <= 1e9]
+    expected_security = max(within, key=security_score)
+    got_security = explorer.max_security_within_budget(budget=1e9)
+    assert got_security.key() == expected_security.key()
+
+    compliant = [
+        d for d in eager if requirement_satisfied(d, "no-wild-writes", libdefs)
+    ]
+    if compliant:
+        expected_best = min(compliant, key=perf)
+        got_best = explorer.best_performance_meeting(["no-wild-writes"])
+        assert got_best.key() == expected_best.key()
