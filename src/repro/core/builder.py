@@ -38,7 +38,7 @@ from repro.core.hardening import LibraryDef, transform_spec
 from repro.core.image import Image
 from repro.core.spec_parser import parse_spec
 from repro.gates.base import GateOptions
-from repro.gates.registry import make_gate
+from repro.gates.registry import make_channel
 from repro.libos.alloc.allocator import HeapAllocator
 from repro.libos.alloc.liballoc import AllocLibrary
 from repro.libos.compartment import Compartment
@@ -249,9 +249,14 @@ def build_image(config: BuildConfig) -> Image:
             compartment.capabilities = base_capabilities(
                 compartment, shared_ranges
             )
-    options = GateOptions(clear_registers=config.clear_registers)
-
-    from repro.gates.guard import GuardedChannel
+    options = GateOptions(
+        clear_registers=config.clear_registers,
+        # Auto-generated trust-boundary wrappers (paper §5): checks
+        # included only where the call actually crosses a domain —
+        # make_channel never wraps same-compartment direct channels.
+        api_guards=config.api_guards,
+        shared_ranges=tuple(shared_ranges),
+    )
 
     def connect(caller: MicroLibrary, service: str, target: MicroLibrary) -> None:
         kind = (
@@ -263,11 +268,7 @@ def build_image(config: BuildConfig) -> Image:
             # operations never cross a VM boundary.  The reproduction
             # keeps one run loop but makes its operations VM-local.
             kind = "direct"
-        channel = make_gate(kind, machine, caller, target, options)
-        if config.api_guards and kind != "direct":
-            # Auto-generated trust-boundary wrappers (paper §5): checks
-            # included only when the call actually crosses a domain.
-            channel = GuardedChannel(channel, machine, target, shared_ranges)
+        channel = make_channel(kind, machine, caller, target, options=options)
         linker.connect(caller.NAME, service, channel)
 
     for caller in all_instances:
@@ -297,6 +298,10 @@ def build_image(config: BuildConfig) -> Image:
                     techniques.append(technique)
         for technique in techniques:
             make_hardener(technique).apply(compartment, context)
+
+    # --- failure policy ---------------------------------------------------------------------
+    for compartment in compartments:
+        compartment.failure_policy = config.failure_policy
 
     # --- image ------------------------------------------------------------------------------
     scheduler = libraries.get("sched")

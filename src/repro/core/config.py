@@ -19,6 +19,8 @@ BACKENDS = ("none", "mpk-shared", "mpk-switched", "vm-rpc", "cheri")
 ALLOC_POLICIES = ("per-compartment", "global")
 #: Valid scheduler flavours.
 SCHEDULERS = ("coop", "verified")
+#: Valid compartment failure policies (see repro.libos.compartment).
+FAILURE_POLICIES = ("propagate", "isolate", "restart-with-backoff")
 
 #: MPK protection key reserved for the shared-data domain.
 SHARED_PKEY = 14
@@ -50,6 +52,13 @@ class BuildConfig:
             checked, the paper's Dafny scheduler).
         clear_registers: scrub registers at MPK gate crossings.
         rx_batch: packets the network rx thread processes per quantum.
+        failure_policy: what happens when a fault escapes a
+            compartment — ``propagate`` (raw fault, whole-image crash,
+            the default), ``isolate`` (translate to
+            ``CompartmentFailure``, fail fast afterwards) or
+            ``restart-with-backoff`` (isolate + revive the compartment
+            after an exponential backoff).  Applied image-wide;
+            individual compartments can be overridden programmatically.
     """
 
     libraries: list[str] = dataclasses.field(default_factory=list)
@@ -68,6 +77,7 @@ class BuildConfig:
     phys_bytes: int = 128 * 1024 * 1024
     cost: CostModel | None = None
     rx_batch: int | None = None
+    failure_policy: str = "propagate"
     name: str = ""
 
     def to_dict(self) -> dict:
@@ -92,6 +102,7 @@ class BuildConfig:
             "shared_heap_size": self.shared_heap_size,
             "phys_bytes": self.phys_bytes,
             "rx_batch": self.rx_batch,
+            "failure_policy": self.failure_policy,
             "name": self.name,
         }
 
@@ -136,6 +147,11 @@ class BuildConfig:
         if self.scheduler not in SCHEDULERS:
             raise BuildError(
                 f"unknown scheduler {self.scheduler!r}; valid: {SCHEDULERS}"
+            )
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise BuildError(
+                f"unknown failure policy {self.failure_policy!r}; "
+                f"valid: {FAILURE_POLICIES}"
             )
         if self.allocator_policy == "global" and self.backend != "none":
             raise BuildError(

@@ -1,6 +1,52 @@
-"""Errors raised by the FlexOS core (spec language, build system)."""
+"""Errors raised by the FlexOS core (spec language, build system).
+
+This module also re-exports the full machine fault taxonomy from
+:mod:`repro.machine.faults`, so callers have a single import point for
+every error the reproduction can raise::
+
+    from repro.core.errors import BuildError, CompartmentFailure
+
+See the taxonomy notes in :mod:`repro.machine.faults` for which type
+to catch where (``GateError`` = wiring bug, ``CompartmentFailure`` =
+contained crash, ``ProtectionFault`` = raw hardware fault, ...).
+"""
 
 from __future__ import annotations
+
+from repro.machine.faults import (  # noqa: F401  (re-exported taxonomy)
+    CONTAINABLE_FAULTS,
+    BoundaryViolation,
+    CompartmentFailure,
+    ContractViolation,
+    GateError,
+    InjectedFault,
+    MachineError,
+    OutOfMemoryError,
+    PageFault,
+    ProtectionFault,
+    RPCTimeout,
+    SHViolation,
+)
+
+__all__ = [
+    "FlexOSError",
+    "SpecError",
+    "CompatibilityError",
+    "BuildError",
+    # Re-exported machine fault taxonomy:
+    "MachineError",
+    "OutOfMemoryError",
+    "PageFault",
+    "ProtectionFault",
+    "SHViolation",
+    "ContractViolation",
+    "GateError",
+    "BoundaryViolation",
+    "InjectedFault",
+    "RPCTimeout",
+    "CompartmentFailure",
+    "CONTAINABLE_FAULTS",
+]
 
 
 class FlexOSError(Exception):

@@ -24,7 +24,12 @@ from repro.gates.funccall import DirectChannel, ProfileChannel
 from repro.gates.guard import GuardedChannel
 from repro.gates.mpk_shared import MPKSharedStackGate
 from repro.gates.mpk_switched import MPKSwitchedStackGate
-from repro.gates.registry import GATE_KINDS, make_gate
+from repro.gates.registry import (
+    GATE_KINDS,
+    make_channel,
+    make_gate,
+    relative_crossing_cost,
+)
 from repro.gates.vm_rpc import VMRPCGate
 
 __all__ = [
@@ -38,5 +43,7 @@ __all__ = [
     "MPKSwitchedStackGate",
     "ProfileChannel",
     "VMRPCGate",
+    "make_channel",
     "make_gate",
+    "relative_crossing_cost",
 ]

@@ -7,15 +7,31 @@ caller side charges the caller profile's per-call instrumentation
 (stack protector, SafeStack) and runs its call monitors (CFI target
 checks) — hardening travels with the *calling* compartment's code, not
 with the channel.
+
+Boundary gates are also the containment line of the fault model (see
+:mod:`repro.machine.faults`): a containable fault escaping the callee
+is translated into :class:`CompartmentFailure` when the callee
+compartment's failure policy asks for it, and crossings into a failed
+compartment fail fast (``isolate``) or revive it after its backoff
+deadline (``restart-with-backoff``).
+
+Construct channels through :func:`repro.gates.registry.make_channel`;
+direct class instantiation is deprecated.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
+import warnings
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.libos.library import CallChannelProtocol
-from repro.machine.faults import GateError
+from repro.machine.faults import (
+    CONTAINABLE_FAULTS,
+    CompartmentFailure,
+    GateError,
+)
 
 if TYPE_CHECKING:
     from repro.libos.compartment import Compartment
@@ -32,6 +48,26 @@ class GateOptions:
     clear_registers: bool = True
     #: Bytes charged for copying one argument/return value.
     word_bytes: int = 8
+    #: Wrap boundary channels in API guards (paper §5 precondition +
+    #: pointer checks).  Applied by :func:`make_channel`; guards are
+    #: never generated for same-compartment direct channels.
+    api_guards: bool = False
+    #: (start, end) ranges pointer arguments may legitimately reference
+    #: besides the caller's own memory (the shared heap); consulted by
+    #: the API guards.
+    shared_ranges: tuple[tuple[int, int], ...] = ()
+    #: VM-RPC only: notifications sent before the gate gives up on a
+    #: lossy event channel and raises ``RPCTimeout``.
+    rpc_max_retries: int = 3
+    #: VM-RPC only: multiplier on the timeout charged per retry
+    #: (exponential backoff).
+    rpc_backoff_factor: float = 2.0
+
+
+#: Set while :func:`repro.gates.registry.make_channel` constructs a
+#: gate; direct instantiation outside the factory warns.  Thread-local
+#: because images are built concurrently (measure_many's pool).
+_FACTORY = threading.local()
 
 
 class Gate(CallChannelProtocol):
@@ -49,7 +85,8 @@ class Gate(CallChannelProtocol):
     KIND = "abstract"
     #: True for channels that cross a compartment boundary; only the
     #: same-compartment DirectChannel clears it.  Boundary channels
-    #: count toward ``gate_crossings`` and get trace spans.
+    #: count toward ``gate_crossings``, get trace spans, and act as
+    #: containment boundaries for the fault model.
     IS_BOUNDARY = True
     #: Backend-specific counter bumped alongside the unified ones
     #: ("mpk_crossings", "vm_rpcs", ...); empty string disables it.
@@ -62,6 +99,13 @@ class Gate(CallChannelProtocol):
         callee_lib: "MicroLibrary",
         options: GateOptions | None = None,
     ) -> None:
+        if not getattr(_FACTORY, "active", False):
+            warnings.warn(
+                f"direct instantiation of {type(self).__name__} is "
+                "deprecated; use repro.gates.make_channel(kind, ...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.machine = machine
         self.caller_lib = caller_lib
         self.callee_lib = callee_lib
@@ -110,22 +154,83 @@ class Gate(CallChannelProtocol):
         if self.EXTRA_COUNTER:
             cpu.bump(self.EXTRA_COUNTER)
 
-    def _trace_begin(self, fn: str) -> bool:
-        """Open a crossing span; returns whether one was opened.
+    def _trace_begin(self, fn: str) -> int | None:
+        """Open a crossing span; returns its track id, or None.
 
         Spans ride the calling thread's track, so a blocking call that
         suspends keeps its span open across the suspension and closes
         it after resume — other threads' events land on other tracks.
+        The track id is returned so teardown paths (a thread destroyed
+        while parked inside the call) can close the span even though
+        the tracer has moved on to another track by then.
         """
         tracer = self._tracer
         if not (tracer.enabled and self.IS_BOUNDARY):
-            return False
+            return None
         tracer.begin(
             f"{self.caller_lib.NAME}->{self.callee_lib.NAME}.{fn}",
             "gate",
             kind=self.KIND,
         )
-        return True
+        return tracer.current_track
+
+    # --- fault containment ---------------------------------------------------
+
+    def _check_available(self) -> None:
+        """Fail fast — or restart — crossings into a failed compartment."""
+        if not self.IS_BOUNDARY:
+            return
+        comp: "Compartment | None" = self.callee_lib.compartment
+        if comp is None or not comp.failed:
+            return
+        cpu = self.machine.cpu
+        if comp.restart_due(cpu.clock_ns):
+            cpu.charge(self.machine.cost.compartment_restart_ns)
+            comp.restart()
+            cpu.bump("resilience.restarts")
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    f"restart:{comp.name}", "resilience", restarts=comp.restarts
+                )
+            return
+        raise CompartmentFailure(
+            comp.name,
+            cause=comp.last_failure.cause if comp.last_failure else None,
+            detail="compartment unavailable after failure",
+        )
+
+    def _contain(self, exc: BaseException) -> CompartmentFailure | None:
+        """Translate a callee fault per the callee's failure policy.
+
+        Returns the :class:`CompartmentFailure` to raise instead, or
+        ``None`` when the raw fault should propagate (non-boundary
+        channel, or ``propagate`` policy — the paper's baseline
+        whole-image crash).
+        """
+        comp: "Compartment | None" = self.callee_lib.compartment
+        if (
+            not self.IS_BOUNDARY
+            or comp is None
+            or comp.failure_policy == "propagate"
+        ):
+            return None
+        cpu = self.machine.cpu
+        failure = CompartmentFailure(comp.name, cause=exc)
+        comp.mark_failed(cpu.clock_ns, failure)
+        cpu.bump("resilience.contained")
+        if self._tracer.enabled:
+            self._tracer.instant(
+                f"contained:{comp.name}",
+                "resilience",
+                cause=type(exc).__name__,
+            )
+        return failure
+
+    def _inject(self, fn: str) -> None:
+        """Resilience-harness hook, called inside the callee's domain."""
+        injector = self.machine.injector
+        if injector is not None:
+            injector.on_crossing(self, fn)
 
     # --- domain switch hooks (overridden by real gates) ---------------------------
 
@@ -140,38 +245,58 @@ class Gate(CallChannelProtocol):
     def invoke(self, fn: str, args: tuple) -> Any:
         handler = self._lookup(fn, blocking=False)
         self._caller_side(fn)
+        self._check_available()
         self._record_crossing()
         traced = self._trace_begin(fn)
         self._enter(fn, args)
         try:
+            self._inject(fn)
             return handler(*args)
+        except CONTAINABLE_FAULTS as exc:
+            failure = self._contain(exc)
+            if failure is None:
+                raise
+            raise failure from exc
         finally:
             self._exit()
-            if traced:
+            if traced is not None:
                 self._tracer.end()
 
     def invoke_gen(self, fn: str, args: tuple) -> Generator:
         handler = self._lookup(fn, blocking=True)
         self._caller_side(fn)
+        self._check_available()
         self._record_crossing()
         traced = self._trace_begin(fn)
         self._enter(fn, args)
         try:
+            self._inject(fn)
             result = yield from handler(*args)
         except GeneratorExit:
             # The thread was destroyed while parked inside the callee:
             # its entire saved protection-context stack (including the
             # context this gate pushed) is discarded with it, so there
-            # is nothing to restore on the live CPU.  The open trace
-            # span is left dangling on purpose; the exporter closes it.
+            # is nothing to restore on the live CPU — but the trace
+            # span must still be closed on the track it was opened on,
+            # or exports carry a dangling span for the dead thread.
+            if traced is not None:
+                self._tracer.end(track=traced)
             raise
+        except CONTAINABLE_FAULTS as exc:
+            self._exit()
+            if traced is not None:
+                self._tracer.end()
+            failure = self._contain(exc)
+            if failure is None:
+                raise
+            raise failure from exc
         except BaseException:
             self._exit()
-            if traced:
+            if traced is not None:
                 self._tracer.end()
             raise
         self._exit()
-        if traced:
+        if traced is not None:
             self._tracer.end()
         return result
 

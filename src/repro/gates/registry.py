@@ -1,10 +1,17 @@
-"""Gate registry: backend name → gate class."""
+"""Gate registry: backend name → gate class, and the channel factory.
+
+:func:`make_channel` is the one way to construct an inter-library
+channel — direct calls, profile channels, and every isolation gate —
+with API guards folded in via :class:`GateOptions`.  Direct gate class
+instantiation (and the legacy :func:`make_gate`) is deprecated.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
 
-from repro.gates.base import Gate, GateOptions
+from repro.gates.base import _FACTORY, Gate, GateOptions
 from repro.gates.cheri import CHERIGate
 from repro.gates.funccall import DirectChannel, ProfileChannel
 from repro.gates.mpk_shared import MPKSharedStackGate
@@ -69,6 +76,48 @@ def relative_crossing_cost(
     )
 
 
+def make_channel(
+    kind: str,
+    machine: "Machine",
+    caller: "MicroLibrary",
+    callee: "MicroLibrary",
+    *,
+    options: GateOptions | None = None,
+):
+    """Build the channel connecting ``caller`` to ``callee``.
+
+    The single construction path for every channel kind — ``direct``,
+    ``profile``, and all isolation gates — so callers never touch gate
+    classes.  When ``options.api_guards`` is set and the channel
+    crosses a compartment boundary, the gate is wrapped in a
+    :class:`~repro.gates.guard.GuardedChannel` (paper §5 wrappers)
+    checking preconditions and pointer provenance against
+    ``options.shared_ranges``; same-compartment direct channels never
+    get guards.
+
+    Raises :class:`GateError` for unknown kinds.
+    """
+    gate_cls = GATE_KINDS.get(kind)
+    if gate_cls is None:
+        raise GateError(
+            f"unknown gate kind {kind!r}; known: {sorted(GATE_KINDS)}"
+        )
+    if options is None:
+        options = GateOptions()
+    _FACTORY.active = True
+    try:
+        channel = gate_cls(machine, caller, callee, options)
+    finally:
+        _FACTORY.active = False
+    if options.api_guards and channel.IS_BOUNDARY:
+        from repro.gates.guard import GuardedChannel
+
+        channel = GuardedChannel(
+            channel, machine, callee, list(options.shared_ranges)
+        )
+    return channel
+
+
 def make_gate(
     kind: str,
     machine: "Machine",
@@ -76,10 +125,11 @@ def make_gate(
     callee_lib: "MicroLibrary",
     options: GateOptions | None = None,
 ) -> Gate:
-    """Instantiate the gate class registered under ``kind``."""
-    gate_cls = GATE_KINDS.get(kind)
-    if gate_cls is None:
-        raise GateError(
-            f"unknown gate kind {kind!r}; known: {sorted(GATE_KINDS)}"
-        )
-    return gate_cls(machine, caller_lib, callee_lib, options)
+    """Deprecated alias of :func:`make_channel` (no guard folding)."""
+    warnings.warn(
+        "make_gate is deprecated; use make_channel(kind, machine, caller, "
+        "callee, options=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return make_channel(kind, machine, caller_lib, callee_lib, options=options)

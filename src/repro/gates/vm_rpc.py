@@ -9,6 +9,15 @@ the shared area — microseconds instead of nanoseconds, which is why
 Figure 3's VM-backend iperf only catches the baseline at ~32 KiB
 buffers.  Strongest isolation: the callee VM simply has no mapping of
 the caller's private pages.
+
+The notification line is where transient faults live: a dropped
+event-channel signal would hang a naive RPC layer forever.  This gate
+therefore resends after a watchdog timeout with exponential backoff
+(``GateOptions.rpc_max_retries`` / ``rpc_backoff_factor``,
+``CostModel.vm_rpc_timeout_ns``) and discards duplicated signals by
+sequence number — transient losses degrade into latency instead of
+crashing the image; sustained loss surfaces as a typed
+:class:`~repro.machine.faults.RPCTimeout`.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.gates.base import Gate, GateOptions
-from repro.machine.faults import GateError
+from repro.machine.faults import GateError, RPCTimeout
 
 if TYPE_CHECKING:
     from repro.libos.compartment import Compartment
@@ -43,13 +52,54 @@ class VMRPCGate(Gate):
             raise GateError(
                 f"VMRPCGate to {callee_lib.NAME}: compartment has no VM domain"
             )
+        #: Resilience accounting for this channel.
+        self.retries = 0
+        self.duplicates_discarded = 0
 
-    def _enter(self, fn: str, args: tuple) -> None:
+    def _notify(self, payload_bytes: int) -> None:
+        """Send one notification, resending on loss until delivered.
+
+        Every attempt charges the notify + copy cost; a lost attempt
+        additionally charges the watchdog timeout (scaled by the
+        exponential backoff factor) before the resend.  Exhausting the
+        retry budget raises :class:`RPCTimeout` — a channel fault, not
+        a compartment failure (see :mod:`repro.machine.faults`).
+        """
         cpu = self.machine.cpu
         cost = self.machine.cost
+        domain = self.callee_comp.vm_domain
+        attempts = 0
+        while True:
+            cpu.charge(cost.vm_notify_ns + payload_bytes * cost.vm_copy_byte_ns)
+            attempts += 1
+            verdict = domain.notify(self.machine.injector)
+            if verdict == "duplicated":
+                # The signal arrived twice; the receiver discards the
+                # spurious copy by sequence number.  Charge the extra
+                # dispatch it wasted.
+                self.duplicates_discarded += 1
+                cpu.bump("vm_rpc_duplicates")
+                cpu.charge(cost.vm_notify_ns)
+                return
+            if verdict != "dropped":
+                return
+            # Lost in flight: wait out the watchdog, back off, resend.
+            if attempts > self.options.rpc_max_retries:
+                cpu.bump("vm_rpc_timeouts")
+                raise RPCTimeout(
+                    f"{self.caller_lib.NAME}->{self.callee_lib.NAME}", attempts
+                )
+            self.retries += 1
+            cpu.bump("vm_rpc_retries")
+            cpu.charge(
+                cost.vm_rpc_timeout_ns
+                * self.options.rpc_backoff_factor ** (attempts - 1)
+            )
+
+    def _enter(self, fn: str, args: tuple) -> None:
         arg_bytes = max(1, len(args)) * self.options.word_bytes
-        cpu.charge(cost.vm_notify_ns + arg_bytes * cost.vm_copy_byte_ns)
-        cpu.push_context(
+        self._notify(arg_bytes)
+        self.machine.cpu.push_context(
             self.callee_comp.make_context(label=f"rpc:{self.callee_lib.NAME}.{fn}")
         )
 
@@ -57,8 +107,5 @@ class VMRPCGate(Gate):
         cpu = self.machine.cpu
         cost = self.machine.cost
         cpu.pop_context()
-        cpu.charge(
-            cost.vm_notify_ns
-            + self.options.word_bytes * cost.vm_copy_byte_ns
-            + cost.ret_ns
-        )
+        self._notify(self.options.word_bytes)
+        cpu.charge(cost.ret_ns)

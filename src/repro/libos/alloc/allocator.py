@@ -69,6 +69,11 @@ class HeapAllocator:
         start_ns = cpu.clock_ns
         cpu.charge(self.machine.cost.alloc_ns)
         cpu.bump(f"malloc:{self.name}")
+        injector = self.machine.injector
+        if injector is not None:
+            # Resilience harness: may raise InjectedFault to model
+            # exhaustion of this heap (site "alloc-exhaustion").
+            injector.on_malloc(self, size)
         need = _round_up(size)
         self._size_hist.observe(need)
         for index, start in enumerate(self._free_starts):

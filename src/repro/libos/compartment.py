@@ -22,10 +22,26 @@ from typing import TYPE_CHECKING, Any
 from repro.machine.address_space import AddressSpace, Permissions
 from repro.machine.cpu import Context, DomainProfile
 from repro.machine.ept import VMDomain
+from repro.machine.faults import CompartmentFailure
 from repro.machine.mpk import PKEY_DEFAULT, pkru_all_access
 
 if TYPE_CHECKING:
     from repro.machine.machine import Machine
+
+#: What happens when a fault escapes this compartment (see
+#: :mod:`repro.machine.faults` for the translation rules):
+#: ``propagate`` — the raw fault propagates, whole-image crash
+#: semantics (the default, and the paper's baseline behaviour);
+#: ``isolate`` — the fault is translated to
+#: :class:`~repro.machine.faults.CompartmentFailure`, the compartment
+#: is marked failed, and later calls into it fail fast;
+#: ``restart-with-backoff`` — like ``isolate``, but the compartment
+#: becomes callable again once an exponentially growing backoff
+#: deadline passes (gates restart it on the next crossing).
+FAILURE_POLICIES = ("propagate", "isolate", "restart-with-backoff")
+
+#: Base backoff before the first restart attempt (doubles per failure).
+RESTART_BACKOFF_NS = 100_000.0
 
 
 class Compartment:
@@ -63,6 +79,44 @@ class Compartment:
         #: gates (stacks live in a domain shared by all compartments,
         #: ERIM-style).  ``None`` means "use the compartment key".
         self.stack_pkey: int | None = None
+        #: Containment policy applied when a fault escapes this
+        #: compartment through a boundary (see FAILURE_POLICIES).
+        self.failure_policy: str = "propagate"
+        #: True while the compartment is considered crashed; boundary
+        #: gates refuse (or restart) crossings into a failed compartment.
+        self.failed: bool = False
+        #: Lifetime failure / restart counts (resilience accounting).
+        self.failures: int = 0
+        self.restarts: int = 0
+        #: Simulated deadline after which a restart may be attempted.
+        self.restart_at_ns: float = 0.0
+        #: Base backoff; doubles with every recorded failure.
+        self.restart_backoff_ns: float = RESTART_BACKOFF_NS
+        #: The most recent failure stopped at this compartment's boundary.
+        self.last_failure: CompartmentFailure | None = None
+
+    # --- failure containment ---------------------------------------------
+
+    def mark_failed(self, now_ns: float, failure: CompartmentFailure) -> None:
+        """Record a contained crash; arms the restart backoff deadline."""
+        self.failures += 1
+        self.failed = True
+        self.last_failure = failure
+        backoff = self.restart_backoff_ns * (2 ** (self.failures - 1))
+        self.restart_at_ns = now_ns + backoff
+
+    def restart_due(self, now_ns: float) -> bool:
+        """True when the restart policy allows reviving the compartment."""
+        return (
+            self.failed
+            and self.failure_policy == "restart-with-backoff"
+            and now_ns >= self.restart_at_ns
+        )
+
+    def restart(self) -> None:
+        """Bring a failed compartment back into service."""
+        self.failed = False
+        self.restarts += 1
 
     # --- memory ---------------------------------------------------------
 

@@ -109,6 +109,9 @@ class Thread:
         self.switches = 0
         #: Threads blocked in thread_join on this thread.
         self.exit_waitq = WaitQueue(f"exit:{tid}")
+        #: Set when the thread died of a contained compartment failure
+        #: (the scheduler reaped it instead of crashing the image).
+        self.failure: Exception | None = None
 
     @property
     def done(self) -> bool:

@@ -16,7 +16,11 @@ from typing import Callable, Generator
 
 from repro.libos.library import MicroLibrary, export, export_blocking
 from repro.libos.sched.base import Block, Thread, ThreadState, WaitQueue, Yield
-from repro.machine.faults import GateError
+from repro.machine.faults import (
+    CONTAINABLE_FAULTS,
+    CompartmentFailure,
+    GateError,
+)
 from repro.obs.tracer import HOST_TRACK, SCHED_TRACK
 
 
@@ -52,6 +56,9 @@ thread_join(tid)
         #: Pending timers: (deadline_ns, sequence, waitq) min-heap.
         self._timers: list[tuple[float, int, WaitQueue]] = []
         self._timer_seq = 0
+        #: Threads reaped after a contained compartment failure:
+        #: (thread name, CompartmentFailure) in death order.
+        self.thread_failures: list[tuple[str, CompartmentFailure]] = []
         #: One-way cost of crossing into/out of the scheduler's
         #: protection domain on a context switch.  Set by the builder
         #: from the isolation backend: under MPK, every switch enters
@@ -240,6 +247,13 @@ thread_join(tid)
                         )
                 continue
             thread = self.run_queue.popleft()
+            injector = self.machine.injector
+            if injector is not None and injector.should_kill(thread):
+                # Resilience harness: the thread dies before running
+                # (site "sched-kill" — a scheduler-visible thread
+                # death, e.g. a stack blowout detected on switch-in).
+                self.kill_thread(thread)
+                continue
             self._switch_cost(thread)
             switches += 1
             self.total_switches += 1
@@ -258,6 +272,24 @@ thread_join(tid)
                 thread.state = ThreadState.DONE
                 self.threads.pop(thread.tid, None)
                 self.wake_all(thread.exit_waitq)
+            except CompartmentFailure as failure:
+                # Already contained at a gate boundary: the thread dies,
+                # the image keeps running (microkernel-style reaping).
+                directive = None
+                self._reap_failed(thread, failure)
+            except CONTAINABLE_FAULTS as exc:
+                # A fault escaped the thread body without crossing a
+                # containment boundary — it crashed inside the thread's
+                # own home compartment.  The scheduler is the outermost
+                # boundary: apply the home compartment's policy.
+                comp = thread.home_compartment
+                if comp is None or comp.failure_policy == "propagate":
+                    raise
+                directive = None
+                failure = CompartmentFailure(comp.name, cause=exc)
+                comp.mark_failed(cpu.clock_ns, failure)
+                cpu.bump("resilience.contained")
+                self._reap_failed(thread, failure)
             finally:
                 thread.ctx_stack = cpu.swap_context_stack(saved)
                 tracer.set_track(HOST_TRACK)
@@ -286,6 +318,23 @@ thread_join(tid)
                     f"{directive!r}"
                 )
         return switches
+
+    def _reap_failed(self, thread: Thread, failure: CompartmentFailure) -> None:
+        """Retire a thread killed by a contained compartment failure."""
+        thread.state = ThreadState.DONE
+        thread.failure = failure
+        self.threads.pop(thread.tid, None)
+        self.thread_failures.append((thread.name, failure))
+        self.machine.cpu.bump("resilience.thread_failures")
+        tracer = self.machine.obs.tracer
+        if tracer.enabled:
+            tracer.instant(
+                f"thread-failed:{thread.name}",
+                "resilience",
+                track=SCHED_TRACK,
+                compartment=failure.compartment,
+            )
+        self.wake_all(thread.exit_waitq)
 
     # --- teardown ---------------------------------------------------------------
 

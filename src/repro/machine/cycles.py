@@ -120,6 +120,16 @@ class CostModel:
     #: Per-packet framing overhead on the wire.
     wire_pkt_ns: float = 20.0
 
+    # --- resilience --------------------------------------------------------------
+    #: Time to bring a failed compartment back into service under the
+    #: ``restart-with-backoff`` policy (state re-init at the boundary;
+    #: a microkernel-style service restart, not a full reboot).
+    compartment_restart_ns: float = 5_000.0
+    #: Time a VM-RPC gate waits before concluding a notification was
+    #: lost and resending it (event-channel watchdog; multiplied by the
+    #: gate's exponential backoff factor per retry).
+    vm_rpc_timeout_ns: float = 12_000.0
+
     # --- software hardening multipliers / costs ------------------------------
     # SH techniques do not charge flat costs; they scale the memory ops
     # of the compartments they are applied to and add per-event checks.

@@ -23,6 +23,35 @@ class VMDomain:
         self.space = AddressSpace(f"vm:{name}", phys)
         #: (vaddr, size) of every shared window mapped into this VM.
         self.shared_windows: list[tuple[int, int]] = []
+        #: Event-channel sequence number of the last notification
+        #: posted toward this VM; RPC gates use it to detect and
+        #: discard duplicated signals.
+        self.notify_seq: int = 0
+        #: Delivery accounting for the inter-VM notification line.
+        self.notifications: int = 0
+        self.dropped_notifications: int = 0
+        self.duplicate_notifications: int = 0
+
+    def notify(self, injector=None) -> str:
+        """Post one event-channel notification toward this VM.
+
+        Returns the delivery verdict: ``"delivered"``, ``"dropped"``
+        (signal lost in flight — the caller's RPC layer must detect the
+        loss via timeout and resend) or ``"duplicated"`` (the signal
+        arrived twice; the receiver discards the second copy by
+        sequence number).  Only a resilience ``injector`` ever makes
+        the line lossy; without one, delivery is perfect.
+        """
+        self.notify_seq += 1
+        self.notifications += 1
+        verdict = "delivered"
+        if injector is not None:
+            verdict = injector.on_vm_notify(self)
+        if verdict == "dropped":
+            self.dropped_notifications += 1
+        elif verdict == "duplicated":
+            self.duplicate_notifications += 1
+        return verdict
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"VMDomain({self.vm_id}, {self.name!r})"

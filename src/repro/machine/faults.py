@@ -5,9 +5,51 @@ sources: hardware faults (page faults, protection-key violations),
 software-hardening detections (ASAN/CFI style aborts), contract
 violations at verified-component boundaries, and build/gate wiring
 errors.
+
+Taxonomy — who raises what, and what callers should catch
+---------------------------------------------------------
+
+- :class:`GateError` is a *wiring* error: the call never happened
+  (unknown export, blocking/non-blocking mismatch, bad channel
+  construction).  It indicates a bug or misuse on the caller's side,
+  never a crash of the callee, and is therefore **never** translated
+  into :class:`CompartmentFailure`.
+- :class:`BoundaryViolation` is an API guard *rejecting* a call before
+  it runs (paper §5 wrappers).  Like ``GateError``, the callee never
+  executed, so it is not a compartment failure either.
+- :class:`ProtectionFault`, :class:`PageFault`, :class:`SHViolation`,
+  :class:`ContractViolation`, :class:`OutOfMemoryError` and
+  :class:`InjectedFault` are faults *inside* a protection domain.
+  When one escapes a compartment through a boundary gate whose callee
+  has a containment policy (``isolate`` / ``restart-with-backoff``),
+  the gate translates it into :class:`CompartmentFailure` — callers
+  catch that one type instead of every backend-specific fault.  Under
+  the default ``propagate`` policy the raw fault propagates unchanged
+  (whole-image crash semantics).
+- :class:`RPCTimeout` is a transient *channel* fault: a VM-RPC
+  notification was lost and retries were exhausted.  The callee may be
+  perfectly healthy, so it is reported as its own type.
+
+``CONTAINABLE_FAULTS`` is the tuple gates and the scheduler use for
+the translation decision.
 """
 
 from __future__ import annotations
+
+__all__ = [
+    "MachineError",
+    "OutOfMemoryError",
+    "PageFault",
+    "ProtectionFault",
+    "SHViolation",
+    "ContractViolation",
+    "GateError",
+    "BoundaryViolation",
+    "InjectedFault",
+    "RPCTimeout",
+    "CompartmentFailure",
+    "CONTAINABLE_FAULTS",
+]
 
 
 class MachineError(Exception):
@@ -91,7 +133,11 @@ class ContractViolation(MachineError):
 
 
 class GateError(MachineError):
-    """Gate wiring or invocation error (unknown export, bad channel)."""
+    """Gate wiring or invocation error (unknown export, bad channel).
+
+    The call never reached the callee, so this is never translated
+    into :class:`CompartmentFailure`.
+    """
 
 
 class BoundaryViolation(MachineError):
@@ -100,10 +146,96 @@ class BoundaryViolation(MachineError):
     Raised by the auto-generated trust-boundary wrappers (paper §5,
     "isolation alone is not enough"): a precondition on the callee's
     API failed, or a pointer argument referenced memory the caller may
-    not legitimately share (a confused-deputy attempt).
+    not legitimately share (a confused-deputy attempt).  The callee
+    never executed, so this is never a :class:`CompartmentFailure`.
     """
 
     def __init__(self, callee: str, fn: str, detail: str) -> None:
         self.callee = callee
         self.fn = fn
         super().__init__(f"boundary check failed for {callee}.{fn}: {detail}")
+
+
+class InjectedFault(MachineError):
+    """A fault deliberately fired by the resilience harness.
+
+    Models a software crash inside a compartment (panic, assertion
+    failure, resource exhaustion) at one of the named injection sites
+    of :mod:`repro.resilience`.  The ``site`` attribute names the site
+    ("gate-crash", "alloc-exhaustion", ...).
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        self.site = site
+        message = f"injected fault at {site}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class RPCTimeout(MachineError):
+    """A VM-RPC notification was lost and retries were exhausted.
+
+    Transient channel fault of the VM backend: the event-channel
+    signal toward the callee VM was dropped more times than the gate's
+    retry budget allows.  The callee itself may be healthy — this is
+    a communication failure, not a compartment crash, and is reported
+    as its own type (not translated to :class:`CompartmentFailure`).
+
+    Attributes:
+        edge: "caller->callee" label of the failing channel.
+        attempts: notifications sent before giving up.
+    """
+
+    def __init__(self, edge: str, attempts: int) -> None:
+        self.edge = edge
+        self.attempts = attempts
+        super().__init__(
+            f"vm-rpc notification to {edge} lost after {attempts} attempts"
+        )
+
+
+class CompartmentFailure(MachineError):
+    """A compartment crashed; the failure was stopped at its boundary.
+
+    Gates (and the scheduler, for a thread crashing inside its home
+    compartment) translate every fault in ``CONTAINABLE_FAULTS`` into
+    this type when the failing compartment's policy is ``isolate`` or
+    ``restart-with-backoff`` — the typed, backend-independent error
+    callers handle instead of catching hardware-specific faults.
+
+    Attributes:
+        compartment: name of the failed compartment.
+        cause: the original fault (also chained as ``__cause__``).
+    """
+
+    def __init__(
+        self,
+        compartment: str,
+        cause: BaseException | None = None,
+        detail: str = "",
+    ) -> None:
+        self.compartment = compartment
+        self.cause = cause
+        message = f"compartment {compartment!r} failed"
+        if cause is not None:
+            message = f"{message}: {type(cause).__name__}: {cause}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+#: Faults that represent a crash *inside* a protection domain and are
+#: therefore translated into :class:`CompartmentFailure` at containment
+#: boundaries.  Deliberately excludes ``GateError`` and
+#: ``BoundaryViolation`` (the callee never ran), ``RPCTimeout`` (a
+#: channel fault) and ``CompartmentFailure`` itself (already
+#: translated).
+CONTAINABLE_FAULTS = (
+    PageFault,
+    ProtectionFault,
+    SHViolation,
+    ContractViolation,
+    OutOfMemoryError,
+    InjectedFault,
+)

@@ -49,6 +49,11 @@ class Machine:
         self.spaces: dict[str, AddressSpace] = {}
         self.vm_domains: dict[str, VMDomain] = {}
         self._shared_windows = SharedWindowAllocator(self.phys)
+        #: Resilience fault injector (:mod:`repro.resilience`), or None.
+        #: Hook sites (gate crossings, allocators, the scheduler, VM
+        #: notifications) consult it only when armed; the common path
+        #: pays a single attribute check.
+        self.injector = None
 
     @property
     def cost(self) -> CostModel:

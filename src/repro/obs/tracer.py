@@ -180,9 +180,11 @@ class Tracer:
     def open_spans(self) -> list[tuple[int, str, str]]:
         """Spans begun but not yet ended, innermost last per track.
 
-        A thread killed while parked inside a gate chain legitimately
-        leaves its spans open (the gate never returns); the exporter
-        closes them at export time so the JSON stays balanced.
+        Gates close their spans even when a thread is destroyed while
+        parked inside them (``GeneratorExit`` unwinds every
+        ``invoke_gen`` frame), so after a clean kill this should be
+        empty.  The exporter still auto-closes any stragglers at export
+        time so the JSON stays balanced regardless.
         """
         return [
             (tid, name, cat)

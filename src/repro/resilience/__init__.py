@@ -1,0 +1,52 @@
+"""repro.resilience: seeded fault injection + containment campaigns.
+
+The dependability half of the FlexOS story: the paper's isolation
+backends differ not just in crossing cost but in *what happens when a
+compartment misbehaves*.  This package makes that measurable:
+
+- :mod:`repro.resilience.plan` — the :class:`InjectionPlan` DSL naming
+  fault sites (gate crossings, heap exhaustion, wild writes, thread
+  death, lost VM notifications) with seeded schedules;
+- :mod:`repro.resilience.injector` — the :class:`FaultInjector` the
+  machine consults at each hook site;
+- :mod:`repro.resilience.campaign` — the campaign driver producing the
+  site × backend containment matrix.
+"""
+
+from repro.resilience.injector import FaultInjector, InjectionEvent, arm
+from repro.resilience.plan import SITES, FaultSpec, InjectionPlan
+
+#: Names re-exported lazily from repro.resilience.campaign — deferred
+#: so `python -m repro.resilience.campaign` does not import the module
+#: twice (runpy would warn).
+_CAMPAIGN_EXPORTS = (
+    "DEFAULT_BACKENDS",
+    "DEFAULT_SITES",
+    "CampaignResult",
+    "default_plan",
+    "run_campaign",
+    "run_cell",
+)
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.resilience import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "DEFAULT_BACKENDS",
+    "DEFAULT_SITES",
+    "SITES",
+    "CampaignResult",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectionEvent",
+    "InjectionPlan",
+    "arm",
+    "default_plan",
+    "run_campaign",
+    "run_cell",
+]

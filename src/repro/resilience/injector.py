@@ -1,0 +1,228 @@
+"""The fault injector: deterministic hooks into the simulated machine.
+
+One :class:`FaultInjector` is armed per run via :func:`arm`.  The
+machine exposes it as ``machine.injector``; hook sites (gate
+crossings, heap mallocs, scheduler switch-ins, VM notifications) call
+in only when an injector is attached, so the common path costs one
+attribute check.  Everything the injector does is a pure function of
+the armed :class:`~repro.resilience.plan.InjectionPlan` and the
+simulated event stream — no wall clock, no unseeded randomness — so a
+seeded campaign replays bit-identically.
+
+The injector keeps an audit trail (:attr:`events`) of every fault it
+fired and what the machine did about it (``raised`` / ``trapped`` /
+``landed`` / ``killed`` / ``dropped`` / ``duplicated``), which the
+campaign driver turns into the containment matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.machine.faults import InjectedFault, MachineError
+from repro.resilience.plan import FaultSpec, InjectionPlan
+
+if TYPE_CHECKING:
+    from repro.core.image import Image
+    from repro.gates.base import Gate
+    from repro.libos.sched.base import Thread
+    from repro.machine.ept import VMDomain
+    from repro.machine.machine import Machine
+
+#: Bytes a wild write scribbles over the victim's canary region.
+_WILD_PAYLOAD = b"\xde\xad\xbe\xef\xfa\x11\xed\x00"
+#: Canary written at arm time; corruption check compares against it.
+_CANARY = b"\x5a" * len(_WILD_PAYLOAD)
+
+
+@dataclasses.dataclass
+class InjectionEvent:
+    """One fault fired by the injector (audit-trail row)."""
+
+    site: str
+    at_ns: float
+    detail: str
+    outcome: str
+
+
+@dataclasses.dataclass
+class WildWriteProbe:
+    """A canary region in a victim compartment, checked after the run."""
+
+    victim: str
+    addr: int
+    space: object  # AddressSpace of the victim compartment
+
+    def intact(self, machine: "Machine") -> bool:
+        """True while the canary is uncorrupted (DMA read, zero cost)."""
+        return machine.dma_read(self.space, self.addr, len(_CANARY)) == _CANARY
+
+
+class FaultInjector:
+    """Executes an :class:`InjectionPlan` against one machine."""
+
+    def __init__(self, plan: InjectionPlan) -> None:
+        self.plan = plan
+        self.machine: "Machine | None" = None
+        #: Per-spec count of events its filters accepted so far.
+        self._seen: dict[int, int] = {index: 0 for index in range(len(plan.specs))}
+        #: Audit trail of fired faults.
+        self.events: list[InjectionEvent] = []
+        #: Wild-write canary probes, one per wild-write spec.
+        self.probes: list[WildWriteProbe] = []
+        self._probe_by_spec: dict[int, WildWriteProbe] = {}
+
+    # --- lifecycle --------------------------------------------------------
+
+    def attach(self, image: "Image") -> "FaultInjector":
+        """Bind to the image's machine and resolve victim addresses."""
+        machine = image.machine
+        self.machine = machine
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != "wild-write":
+                continue
+            compartment = image.compartment_of(spec.victim)
+            addr = compartment.alloc_region(len(_CANARY))
+            machine.dma_write(compartment.address_space, addr, _CANARY)
+            probe = WildWriteProbe(
+                victim=spec.victim, addr=addr, space=compartment.address_space
+            )
+            self.probes.append(probe)
+            self._probe_by_spec[index] = probe
+        machine.injector = self
+        return self
+
+    def detach(self) -> None:
+        if self.machine is not None and self.machine.injector is self:
+            self.machine.injector = None
+
+    # --- introspection ----------------------------------------------------
+
+    @property
+    def fired(self) -> int:
+        """Number of faults fired so far."""
+        return len(self.events)
+
+    def probes_intact(self) -> bool:
+        """True while no wild write corrupted a victim canary."""
+        assert self.machine is not None
+        return all(probe.intact(self.machine) for probe in self.probes)
+
+    def _record(self, site: str, detail: str, outcome: str) -> InjectionEvent:
+        assert self.machine is not None
+        cpu = self.machine.cpu
+        cpu.bump("resilience.injected")
+        event = InjectionEvent(
+            site=site, at_ns=cpu.clock_ns, detail=detail, outcome=outcome
+        )
+        self.events.append(event)
+        tracer = self.machine.obs.tracer
+        if tracer.enabled:
+            tracer.instant(f"inject:{site}", "resilience", detail=detail)
+        return event
+
+    def _due(self, index: int, spec: FaultSpec) -> bool:
+        """Count one matching event; True when the spec should fire."""
+        self._seen[index] += 1
+        seen = self._seen[index]
+        return spec.nth <= seen < spec.nth + spec.count
+
+    # --- hook: gate crossings --------------------------------------------
+
+    def on_crossing(self, gate: "Gate", fn: str) -> None:
+        """Called inside the callee's domain, before the handler runs.
+
+        May raise :class:`InjectedFault` (site ``gate-crash``) or
+        perform a wild write that the isolation backend may trap
+        (``ProtectionFault``/``PageFault``) — both unwind through the
+        gate's containment translation like any real callee fault.
+        """
+        caller = gate.caller_lib.NAME
+        callee = gate.callee_lib.NAME
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site == "gate-crash":
+                if not spec.matches_edge(caller, callee, gate.KIND):
+                    continue
+                if not self._due(index, spec):
+                    continue
+                edge = f"{caller}->{callee}.{fn}"
+                self._record("gate-crash", edge, "raised")
+                raise InjectedFault("gate-crash", f"crossing {edge}")
+            elif spec.site == "wild-write":
+                if not spec.matches_edge(caller, callee, gate.KIND):
+                    continue
+                if not self._due(index, spec):
+                    continue
+                self._wild_write(index, spec, f"{caller}->{callee}.{fn}")
+
+    def _wild_write(self, index: int, spec: FaultSpec, edge: str) -> None:
+        """Stray store into the victim's canary from the current context."""
+        assert self.machine is not None
+        probe = self._probe_by_spec[index]
+        detail = f"{edge} -> {probe.victim}@{probe.addr:#x}"
+        event = self._record("wild-write", detail, "landed")
+        try:
+            self.machine.store(probe.addr, _WILD_PAYLOAD)
+        except MachineError:
+            # The isolation backend stopped the stray store.
+            event.outcome = "trapped"
+            raise
+        if probe.intact(self.machine):
+            # The store went through but hit the attacker's *own*
+            # address space (VM backend: the victim's pages are not
+            # mapped here at all) — the victim is untouched.
+            event.outcome = "deflected"
+        # Otherwise the write silently corrupted the victim (backend
+        # "none" semantics) — the canary probe will report it.
+
+    # --- hook: allocator --------------------------------------------------
+
+    def on_malloc(self, allocator, size: int) -> None:
+        """Called per malloc; may raise injected heap exhaustion."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != "alloc-exhaustion":
+                continue
+            if spec.heap is not None and spec.heap not in allocator.name:
+                continue
+            if not self._due(index, spec):
+                continue
+            detail = f"{allocator.name} malloc({size})"
+            self._record("alloc-exhaustion", detail, "raised")
+            raise InjectedFault("alloc-exhaustion", detail)
+
+    # --- hook: scheduler --------------------------------------------------
+
+    def should_kill(self, thread: "Thread") -> bool:
+        """Called on switch-in; True tells the scheduler to kill it."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != "sched-kill":
+                continue
+            if spec.thread not in thread.name:
+                continue
+            if not self._due(index, spec):
+                continue
+            self._record("sched-kill", f"thread {thread.name}", "killed")
+            return True
+        return False
+
+    # --- hook: VM notifications ------------------------------------------
+
+    def on_vm_notify(self, domain: "VMDomain") -> str:
+        """Delivery verdict for one inter-VM notification."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site not in ("vm-drop", "vm-dup"):
+                continue
+            if not self._due(index, spec):
+                continue
+            if spec.site == "vm-drop":
+                self._record("vm-drop", f"notify -> {domain.name}", "dropped")
+                return "dropped"
+            self._record("vm-dup", f"notify -> {domain.name}", "duplicated")
+            return "duplicated"
+        return "delivered"
+
+
+def arm(image: "Image", plan: InjectionPlan) -> FaultInjector:
+    """Arm ``plan`` against ``image``; returns the attached injector."""
+    return FaultInjector(plan).attach(image)

@@ -1,0 +1,224 @@
+"""The injection-plan DSL: *what* fails, *where*, and *when*.
+
+An :class:`InjectionPlan` is a seeded, declarative list of
+:class:`FaultSpec` entries arming faults at named sites:
+
+======================  ======================================================
+site                    meaning
+======================  ======================================================
+``gate-crash``          the Nth matching gate crossing raises an
+                        :class:`~repro.machine.faults.InjectedFault` inside
+                        the callee's domain (a callee panic)
+``wild-write``          the Nth matching crossing performs a stray store into
+                        a *victim* library's private pages from the callee's
+                        execution context (a compromised/buggy compartment)
+``alloc-exhaustion``    the Nth matching ``malloc`` on a heap fails
+``sched-kill``          the Nth switch-in of a matching thread kills it
+``vm-drop``             the Nth VM-RPC notification is lost in flight
+``vm-dup``              the Nth VM-RPC notification is delivered twice
+======================  ======================================================
+
+Plans are built fluently::
+
+    plan = (InjectionPlan(seed=7)
+            .crash_crossing(callee="netstack", nth=5)
+            .wild_write(victim="sched", callee="netstack", nth=3))
+
+and turned into K deterministic *schedules* (plans with jittered
+trigger counts) via :meth:`InjectionPlan.schedules` — same seed, same
+schedules, same campaign matrix, always.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+#: Every site name the harness knows how to arm.
+SITES = (
+    "gate-crash",
+    "wild-write",
+    "alloc-exhaustion",
+    "sched-kill",
+    "vm-drop",
+    "vm-dup",
+)
+
+#: Maximum jitter schedules() adds to a spec's ``nth``.
+_NTH_JITTER = 6
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: a site plus matching filters.
+
+    ``nth`` counts *matching* events (1-based): the fault fires on the
+    Nth event the filters accept, and on the ``count - 1`` events after
+    it.  Unset filters match everything.
+    """
+
+    site: str
+    nth: int = 1
+    count: int = 1
+    #: Gate filters (gate-crash / wild-write / vm-* sites).
+    caller: str | None = None
+    callee: str | None = None
+    kind: str | None = None
+    #: Wild writes land in this library's compartment (required).
+    victim: str | None = None
+    #: Allocator filter ("heap:shared", "heap:netstack", ...);
+    #: substring match on the heap name.
+    heap: str | None = None
+    #: Thread-name substring filter (sched-kill).
+    thread: str | None = None
+    #: Cap on the nth-jitter :meth:`InjectionPlan.schedules` may add;
+    #: ``None`` uses the default (``_NTH_JITTER``).  Sites with few
+    #: matching events (e.g. switch-ins of a short-lived thread) need a
+    #: small cap or jittered schedules never fire.
+    jitter: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown injection site {self.site!r}; known: {SITES}"
+            )
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count must be >= 1")
+        if self.jitter is not None and self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        if self.site == "wild-write" and not self.victim:
+            raise ValueError("wild-write specs need a victim library")
+        if self.site == "sched-kill" and not self.thread:
+            raise ValueError("sched-kill specs need a thread-name filter")
+
+    def matches_edge(self, caller: str, callee: str, kind: str) -> bool:
+        """Filter check for gate-crossing sites."""
+        if self.caller is not None and self.caller != caller:
+            return False
+        if self.callee is not None and self.callee != callee:
+            return False
+        if self.kind is not None and self.kind != kind:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (``None`` filters omitted)."""
+        row = dataclasses.asdict(self)
+        return {key: value for key, value in row.items() if value is not None}
+
+
+class InjectionPlan:
+    """A seeded set of armed faults, ready for the injector."""
+
+    def __init__(
+        self, seed: int = 0, specs: tuple[FaultSpec, ...] | list[FaultSpec] = ()
+    ) -> None:
+        self.seed = int(seed)
+        self.specs: list[FaultSpec] = list(specs)
+
+    # --- fluent DSL -------------------------------------------------------
+
+    def add(self, spec: FaultSpec) -> "InjectionPlan":
+        self.specs.append(spec)
+        return self
+
+    def crash_crossing(
+        self,
+        callee: str | None = None,
+        caller: str | None = None,
+        kind: str | None = None,
+        nth: int = 1,
+    ) -> "InjectionPlan":
+        """Arm a callee panic on the Nth matching crossing."""
+        return self.add(
+            FaultSpec(
+                "gate-crash", nth=nth, caller=caller, callee=callee, kind=kind
+            )
+        )
+
+    def wild_write(
+        self,
+        victim: str,
+        callee: str | None = None,
+        caller: str | None = None,
+        nth: int = 1,
+    ) -> "InjectionPlan":
+        """Arm a stray store into ``victim``'s pages on a crossing."""
+        return self.add(
+            FaultSpec(
+                "wild-write",
+                nth=nth,
+                caller=caller,
+                callee=callee,
+                victim=victim,
+            )
+        )
+
+    def exhaust_alloc(
+        self, heap: str | None = None, nth: int = 1, count: int = 1
+    ) -> "InjectionPlan":
+        """Arm allocator exhaustion on matching heap(s)."""
+        return self.add(FaultSpec("alloc-exhaustion", nth=nth, count=count, heap=heap))
+
+    def kill_thread(
+        self, thread: str, nth: int = 1, jitter: int | None = None
+    ) -> "InjectionPlan":
+        """Arm a scheduler-visible thread death."""
+        return self.add(
+            FaultSpec("sched-kill", nth=nth, thread=thread, jitter=jitter)
+        )
+
+    def drop_vm_notify(self, nth: int = 1, count: int = 1) -> "InjectionPlan":
+        """Arm loss of VM-RPC notification(s)."""
+        return self.add(FaultSpec("vm-drop", nth=nth, count=count))
+
+    def duplicate_vm_notify(self, nth: int = 1) -> "InjectionPlan":
+        """Arm duplication of a VM-RPC notification."""
+        return self.add(FaultSpec("vm-dup", nth=nth))
+
+    # --- seeded schedules -------------------------------------------------
+
+    def schedules(self, k: int) -> list["InjectionPlan"]:
+        """Derive ``k`` deterministic schedule variants of this plan.
+
+        Each variant keeps every spec's site and filters but jitters
+        its ``nth`` (uniformly in ``[nth, nth + _NTH_JITTER]``) so a
+        campaign samples different trigger points of the same fault.
+        Derivation uses only ``self.seed`` — same seed, same schedules.
+        """
+        rng = random.Random(self.seed)
+        variants = []
+        for index in range(k):
+            specs = [
+                dataclasses.replace(
+                    spec,
+                    nth=spec.nth
+                    + rng.randint(
+                        0,
+                        _NTH_JITTER if spec.jitter is None else spec.jitter,
+                    ),
+                )
+                for spec in self.specs
+            ]
+            variant = InjectionPlan(seed=self.seed * 1000 + index, specs=specs)
+            variants.append(variant)
+        return variants
+
+    # --- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InjectionPlan":
+        return cls(
+            seed=data.get("seed", 0),
+            specs=[FaultSpec(**row) for row in data.get("specs", ())],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        sites = ",".join(spec.site for spec in self.specs)
+        return f"InjectionPlan(seed={self.seed}, [{sites}])"

@@ -14,6 +14,9 @@ JSON of the run (open it in ``chrome://tracing`` or Perfetto);
 ``--json`` emits the whole report machine-readable — including the
 caller→callee crossing matrix and the full metrics snapshot — so
 benchmarks and CI can diff reports instead of scraping text.
+``--resilience`` additionally runs a seeded fault-injection campaign
+across all isolation backends and prints the site × backend
+containment matrix (see :mod:`repro.resilience`).
 """
 
 from __future__ import annotations
@@ -108,6 +111,26 @@ def collect(
     }
 
 
+def collect_resilience(seed: int = 0, schedules: int = 1) -> dict:
+    """Run a default containment campaign; summary for the report."""
+    from repro.resilience import run_campaign
+
+    result = run_campaign(schedules=schedules, seed=seed)
+    backends = sorted({cell["backend"] for cell in result.cells})
+    return {
+        "seed": result.seed,
+        "policy": result.policy,
+        "schedules": result.schedules,
+        "matrix": result.matrix(),
+        "containment_rate": {
+            backend: result.containment_rate(backend) for backend in backends
+        },
+        "recovery_ns": {
+            backend: result.recovery_latencies(backend) for backend in backends
+        },
+    }
+
+
 def render_text(data: dict) -> str:
     """The human-readable report (the original format)."""
     lines = [
@@ -138,6 +161,20 @@ def render_text(data: dict) -> str:
             f"heap in use {row['heap_in_use']:>8d} B "
             f"({row['heap_live_blocks']} blocks)"
         )
+    resilience = data.get("resilience")
+    if resilience:
+        lines += ["", "== Containment matrix (site x backend) =="]
+        backends = sorted(resilience["containment_rate"])
+        lines.append("  " + " " * 18 + "".join(f"{b:>14s}" for b in backends))
+        for site, row in sorted(resilience["matrix"].items()):
+            cells = "".join(f"{row.get(b, '-'):>14s}" for b in backends)
+            lines.append(f"  {site:18s}{cells}")
+        rates = "  ".join(
+            f"{backend}={rate:.0%}"
+            for backend, rate in resilience["containment_rate"].items()
+        )
+        lines.append(f"  containment rate: {rates}")
+
     if data.get("trace_file"):
         lines += ["", f"trace written to {data['trace_file']}"]
     return "\n".join(lines)
@@ -189,12 +226,28 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit the report as machine-readable JSON instead of text",
     )
+    parser.add_argument(
+        "--resilience",
+        action="store_true",
+        help="also run a seeded fault-injection campaign and report the "
+        "site x backend containment matrix",
+    )
+    parser.add_argument(
+        "--resilience-seed", type=int, default=0, metavar="N"
+    )
+    parser.add_argument(
+        "--resilience-schedules", type=int, default=1, metavar="K"
+    )
     args = parser.parse_args(argv)
     if args.trace and not pathlib.Path(args.trace).resolve().parent.is_dir():
         # Fail before the run, not after: the simulation can take a
         # while and the trace would be lost.
         parser.error(f"--trace: directory of {args.trace!r} does not exist")
     data = collect(config_from_args(args), args.workload, args.trace)
+    if args.resilience:
+        data["resilience"] = collect_resilience(
+            seed=args.resilience_seed, schedules=args.resilience_schedules
+        )
     if args.json:
         print(json.dumps(data, indent=2, sort_keys=True))
     else:

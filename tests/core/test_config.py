@@ -141,3 +141,40 @@ def test_constant_tables():
     assert "none" in BACKENDS and "vm-rpc" in BACKENDS
     assert set(ALLOC_POLICIES) == {"per-compartment", "global"}
     assert set(SCHEDULERS) == {"coop", "verified"}
+
+
+def test_config_roundtrip_covers_every_field():
+    import json
+
+    config = BuildConfig(
+        libraries=["libc", "netstack"],
+        compartments=[["netstack"], ["sched", "alloc", "libc"]],
+        backend="vm-rpc",
+        api_guards=True,
+        clear_registers=False,
+        rx_batch=7,
+        failure_policy="restart-with-backoff",
+        name="full-roundtrip",
+    )
+    rebuilt = BuildConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+    assert rebuilt.to_dict() == config.to_dict()
+    assert rebuilt.rx_batch == 7
+    assert rebuilt.api_guards is True
+    assert rebuilt.clear_registers is False
+    assert rebuilt.failure_policy == "restart-with-backoff"
+    rebuilt.validate()
+
+
+def test_unknown_failure_policy_rejected():
+    with pytest.raises(BuildError, match="failure policy"):
+        BuildConfig(
+            libraries=["libc"], failure_policy="reboot-universe"
+        ).validate()
+
+
+def test_failure_policy_constants():
+    from repro.core.config import FAILURE_POLICIES
+
+    assert FAILURE_POLICIES == ("propagate", "isolate", "restart-with-backoff")
+    for policy in FAILURE_POLICIES:
+        BuildConfig(libraries=["libc"], failure_policy=policy).validate()

@@ -4,6 +4,7 @@ import pytest
 
 from repro import BuildConfig, build_image
 from repro.apps import run_iperf
+from repro.gates import make_channel
 from repro.gates.cheri import CHERIGate
 from repro.machine.faults import GateError, ProtectionFault
 
@@ -143,7 +144,9 @@ def test_cheri_gate_requires_capability_compartment():
         BuildConfig(libraries=LIBS, compartments=GROUPS, backend="mpk-shared")
     )
     with pytest.raises(GateError, match="capability"):
-        CHERIGate(image.machine, image.lib("iperf"), image.lib("netstack"))
+        make_channel(
+            "cheri", image.machine, image.lib("iperf"), image.lib("netstack")
+        )
 
 
 def test_cheri_scheduler_crossing_cost(image):

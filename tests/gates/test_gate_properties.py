@@ -3,12 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gates import (
-    DirectChannel,
-    MPKSharedStackGate,
-    MPKSwitchedStackGate,
-    ProfileChannel,
-)
+from repro.gates import make_channel
 from repro.libos.compartment import Compartment
 from repro.libos.library import Linker, MicroLibrary, export
 from repro.machine.machine import Machine
@@ -60,7 +55,7 @@ def make_world():
     return machine, service, caller
 
 
-GATES = [DirectChannel, ProfileChannel, MPKSharedStackGate, MPKSwitchedStackGate]
+GATES = ["direct", "profile", "mpk-shared", "mpk-switched"]
 
 
 @settings(max_examples=60, deadline=None)
@@ -68,9 +63,9 @@ GATES = [DirectChannel, ProfileChannel, MPKSharedStackGate, MPKSwitchedStackGate
 def test_gates_are_argument_transparent(args):
     """Every backend delivers identical arguments and results."""
     results = []
-    for gate_cls in GATES:
+    for kind in GATES:
         machine, service, caller = make_world()
-        gate = gate_cls(machine, caller, service)
+        gate = make_channel(kind, machine, caller, service)
         results.append(gate.invoke("echo", args))
     assert all(result == args for result in results)
 
@@ -79,9 +74,9 @@ def test_gates_are_argument_transparent(args):
 @given(repeats=st.integers(min_value=1, max_value=8))
 def test_context_depth_invariant_over_any_call_pattern(repeats):
     """N calls (including failing ones) leave the context stack as found."""
-    for gate_cls in GATES:
+    for kind in GATES:
         machine, service, caller = make_world()
-        gate = gate_cls(machine, caller, service)
+        gate = make_channel(kind, machine, caller, service)
         for index in range(repeats):
             if index % 3 == 2:
                 try:
@@ -99,7 +94,7 @@ def test_context_depth_invariant_over_any_call_pattern(repeats):
 def test_gate_cost_independent_of_results(args):
     """A gate's crossing cost depends on arity, never on outcomes."""
     machine, service, caller = make_world()
-    gate = MPKSwitchedStackGate(machine, caller, service)
+    gate = make_channel("mpk-switched", machine, caller, service)
     start = machine.cpu.clock_ns
     gate.invoke("echo", args)
     first = machine.cpu.clock_ns - start

@@ -4,14 +4,11 @@ import pytest
 
 from repro.gates import (
     GATE_KINDS,
-    DirectChannel,
     GateOptions,
-    MPKSharedStackGate,
-    MPKSwitchedStackGate,
-    ProfileChannel,
-    VMRPCGate,
+    make_channel,
     make_gate,
 )
+from repro.gates.mpk_shared import MPKSharedStackGate
 from repro.libos.compartment import Compartment
 from repro.libos.library import Linker, MicroLibrary, export, export_blocking
 from repro.machine.faults import GateError
@@ -85,34 +82,31 @@ def drive(gen):
 
 
 @pytest.mark.parametrize(
-    "gate_cls",
-    [DirectChannel, ProfileChannel, MPKSharedStackGate, MPKSwitchedStackGate],
+    "kind", ["direct", "profile", "mpk-shared", "mpk-switched"]
 )
-def test_gate_invokes_and_returns(gate_cls):
+def test_gate_invokes_and_returns(kind):
     machine, service, client = make_world()
-    gate = gate_cls(machine, client, service)
+    gate = make_channel(kind, machine, client, service)
     assert gate.invoke("double", (21,)) == 42
     assert gate.crossings == 1
 
 
 def test_vm_gate_invokes():
     machine, service, client = make_world("vm")
-    gate = VMRPCGate(machine, client, service)
+    gate = make_channel("vm-rpc", machine, client, service)
     assert gate.invoke("double", (5,)) == 10
 
 
 def test_vm_gate_requires_vm_domain():
     machine, service, client = make_world("mpk")
     with pytest.raises(GateError):
-        VMRPCGate(machine, client, service)
+        make_channel("vm-rpc", machine, client, service)
 
 
-@pytest.mark.parametrize(
-    "gate_cls", [MPKSharedStackGate, MPKSwitchedStackGate, ProfileChannel]
-)
-def test_gate_switches_context_and_restores(gate_cls):
+@pytest.mark.parametrize("kind", ["mpk-shared", "mpk-switched", "profile"])
+def test_gate_switches_context_and_restores(kind):
     machine, service, client = make_world()
-    gate = gate_cls(machine, client, service)
+    gate = make_channel(kind, machine, client, service)
     before = machine.cpu.current
     label = gate.invoke("whoami", ())
     assert "service" in label
@@ -122,13 +116,13 @@ def test_gate_switches_context_and_restores(gate_cls):
 
 def test_direct_channel_keeps_caller_context():
     machine, service, client = make_world()
-    gate = DirectChannel(machine, client, service)
+    gate = make_channel("direct", machine, client, service)
     assert gate.invoke("whoami", ()) == "client"
 
 
 def test_gate_restores_context_on_exception():
     machine, service, client = make_world()
-    gate = MPKSharedStackGate(machine, client, service)
+    gate = make_channel("mpk-shared", machine, client, service)
     with pytest.raises(RuntimeError, match="service exploded"):
         gate.invoke("fail", ())
     assert machine.cpu.context_depth == 1
@@ -137,14 +131,14 @@ def test_gate_restores_context_on_exception():
 
 def test_blocking_invoke_gen():
     machine, service, client = make_world()
-    gate = MPKSwitchedStackGate(machine, client, service)
+    gate = make_channel("mpk-switched", machine, client, service)
     assert drive(gate.invoke_gen("double_slow", (8,))) == 16
     assert machine.cpu.context_depth == 1
 
 
 def test_entry_point_enforcement():
     machine, service, client = make_world()
-    gate = MPKSharedStackGate(machine, client, service)
+    gate = make_channel("mpk-shared", machine, client, service)
     with pytest.raises(GateError, match="no export"):
         gate.invoke("_private", ())
     with pytest.raises(GateError, match="blocking"):
@@ -155,22 +149,18 @@ def test_entry_point_enforcement():
 
 def test_gate_costs_ordering():
     costs = {}
-    for gate_cls in (DirectChannel, MPKSharedStackGate, MPKSwitchedStackGate):
+    for kind in ("direct", "mpk-shared", "mpk-switched"):
         machine, service, client = make_world()
-        gate = gate_cls(machine, client, service)
+        gate = make_channel(kind, machine, client, service)
         start = machine.cpu.clock_ns
         gate.invoke("double", (1,))
-        costs[gate_cls.__name__] = machine.cpu.clock_ns - start
-    assert (
-        costs["DirectChannel"]
-        < costs["MPKSharedStackGate"]
-        < costs["MPKSwitchedStackGate"]
-    )
+        costs[kind] = machine.cpu.clock_ns - start
+    assert costs["direct"] < costs["mpk-shared"] < costs["mpk-switched"]
 
 
 def test_vm_gate_is_most_expensive():
     machine, service, client = make_world("vm")
-    gate = VMRPCGate(machine, client, service)
+    gate = make_channel("vm-rpc", machine, client, service)
     start = machine.cpu.clock_ns
     gate.invoke("double", (1,))
     vm_cost = machine.cpu.clock_ns - start
@@ -181,8 +171,12 @@ def test_register_clearing_option_costs():
     costs = {}
     for clear in (True, False):
         machine, service, client = make_world()
-        gate = MPKSharedStackGate(
-            machine, client, service, GateOptions(clear_registers=clear)
+        gate = make_channel(
+            "mpk-shared",
+            machine,
+            client,
+            service,
+            options=GateOptions(clear_registers=clear),
         )
         start = machine.cpu.clock_ns
         gate.invoke("double", (1,))
@@ -194,8 +188,8 @@ def test_register_clearing_option_costs():
 
 def test_switched_gate_charges_arg_copies():
     machine, service, client = make_world()
-    shared = MPKSharedStackGate(machine, client, service)
-    switched = MPKSwitchedStackGate(machine, client, service)
+    shared = make_channel("mpk-shared", machine, client, service)
+    switched = make_channel("mpk-switched", machine, client, service)
     start = machine.cpu.clock_ns
     shared.invoke("double", (1,))
     shared_cost = machine.cpu.clock_ns - start
@@ -212,7 +206,7 @@ def test_caller_side_instrumentation_runs():
         lambda caller, callee, fn: calls.append((caller, callee, fn))
     )
     machine.cpu.current.profile.call_extra_ns = 5.0
-    gate = DirectChannel(machine, client, service)
+    gate = make_channel("direct", machine, client, service)
     gate.invoke("double", (3,))
     assert calls == [("client", "service", "double")]
 
@@ -220,7 +214,7 @@ def test_caller_side_instrumentation_runs():
 def test_registry_resolves_all_kinds():
     machine, service, client = make_world()
     for kind in ("direct", "profile", "mpk-shared", "mpk-switched"):
-        gate = make_gate(kind, machine, client, service)
+        gate = make_channel(kind, machine, client, service)
         assert gate.KIND == kind
     assert set(GATE_KINDS) == {
         "direct",
@@ -231,4 +225,33 @@ def test_registry_resolves_all_kinds():
         "vm-rpc",
     }
     with pytest.raises(GateError):
-        make_gate("teleport", machine, client, service)
+        make_channel("teleport", machine, client, service)
+
+
+def test_make_channel_wraps_boundary_with_guards():
+    machine, service, client = make_world()
+    options = GateOptions(api_guards=True)
+    guarded = make_channel(
+        "mpk-shared", machine, client, service, options=options
+    )
+    assert type(guarded).__name__ == "GuardedChannel"
+    assert guarded.inner.KIND == "mpk-shared"
+    # Same-compartment direct channels never get guard wrappers.
+    direct = make_channel("direct", machine, client, service, options=options)
+    assert type(direct).__name__ == "DirectChannel"
+
+
+def test_direct_instantiation_is_deprecated():
+    machine, service, client = make_world()
+    with pytest.warns(DeprecationWarning, match="make_channel"):
+        MPKSharedStackGate(machine, client, service)
+    with pytest.warns(DeprecationWarning, match="make_channel"):
+        make_gate("mpk-shared", machine, client, service)
+
+
+def test_make_channel_emits_no_deprecation_warning(recwarn):
+    machine, service, client = make_world()
+    make_channel("mpk-shared", machine, client, service)
+    assert not [
+        w for w in recwarn if issubclass(w.category, DeprecationWarning)
+    ]

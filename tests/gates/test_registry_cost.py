@@ -1,0 +1,100 @@
+"""relative_crossing_cost: the analytic estimate vs the measured gates."""
+
+import pytest
+
+from repro.gates import GATE_KINDS, make_channel, relative_crossing_cost
+from repro.libos.compartment import Compartment
+from repro.libos.library import Linker, MicroLibrary, export
+from repro.machine.capabilities import base_capabilities
+from repro.machine.faults import GateError
+from repro.machine.machine import Machine
+from repro.machine.mpk import pkru_for_keys
+
+
+class PingService(MicroLibrary):
+    NAME = "ping"
+    SPEC = "[Memory access] Read(Own); Write(Own)"
+
+    @export
+    def ping(self, value):
+        return value
+
+
+class PongClient(MicroLibrary):
+    NAME = "pong"
+    SPEC = "[Memory access] Read(Own); Write(Own)"
+
+
+def _world_for(kind):
+    """Two compartments wired the way ``kind`` needs them."""
+    machine = Machine()
+    linker = Linker()
+    if kind == "vm-rpc":
+        comp_a = Compartment(0, "service-comp", machine)
+        domain_a = machine.new_vm_domain("a")
+        comp_a.vm_domain = domain_a
+        comp_a.address_space = domain_a.space
+        comp_b = Compartment(1, "client-comp", machine)
+        domain_b = machine.new_vm_domain("b")
+        comp_b.vm_domain = domain_b
+        comp_b.address_space = domain_b.space
+    else:
+        space = machine.new_address_space("main")
+        comp_a = Compartment(0, "service-comp", machine)
+        comp_a.address_space = space
+        comp_b = Compartment(1, "client-comp", machine)
+        comp_b.address_space = space
+        if kind.startswith("mpk"):
+            comp_a.pkey = 1
+            comp_a.pkru_value = pkru_for_keys(writable=[1, 14])
+            comp_b.pkey = 2
+            comp_b.pkru_value = pkru_for_keys(writable=[2, 14])
+        elif kind == "cheri":
+            comp_a.capabilities = base_capabilities(comp_a, [])
+            comp_b.capabilities = base_capabilities(comp_b, [])
+    service = PingService()
+    client = PongClient()
+    service.install(machine, comp_a, linker)
+    client.install(machine, comp_b, linker)
+    machine.cpu.push_context(comp_b.make_context("client"))
+    return machine, service, client
+
+
+def _measure(kind):
+    machine, service, client = _world_for(kind)
+    gate = make_channel(kind, machine, client, service)
+    start = machine.cpu.clock_ns
+    gate.invoke("ping", (1,))
+    return machine.cpu.clock_ns - start
+
+
+def test_unknown_kind_raises_gate_error():
+    with pytest.raises(GateError, match="unknown gate kind"):
+        relative_crossing_cost("teleport")
+    with pytest.raises(GateError, match="unknown gate kind"):
+        relative_crossing_cost("")
+
+
+def test_none_alias_matches_direct():
+    assert relative_crossing_cost("none") == relative_crossing_cost("direct")
+
+
+def test_every_registered_kind_has_an_estimate():
+    for kind in GATE_KINDS:
+        assert relative_crossing_cost(kind) > 0
+
+
+def test_estimate_ordering_agrees_with_measured_crossings():
+    """For every backend pair the analytic estimate ranks, the measured
+    gates must rank the same way (ties in the estimate are exempt)."""
+    kinds = sorted(GATE_KINDS)
+    estimated = {kind: relative_crossing_cost(kind) for kind in kinds}
+    measured = {kind: _measure(kind) for kind in kinds}
+    for a in kinds:
+        for b in kinds:
+            if estimated[a] < estimated[b]:
+                assert measured[a] < measured[b], (
+                    f"estimate ranks {a} < {b} "
+                    f"({estimated[a]:.1f} < {estimated[b]:.1f} ns) but "
+                    f"measured says {measured[a]:.1f} vs {measured[b]:.1f} ns"
+                )

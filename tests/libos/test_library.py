@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gates.funccall import DirectChannel
+from repro.gates import make_channel
 from repro.libos.compartment import Compartment
 from repro.libos.library import Linker, MicroLibrary, Stub, export, export_blocking
 from repro.machine.faults import GateError
@@ -42,7 +42,7 @@ def world():
     caller = CallerLibrary()
     echo.install(machine, compartment, linker)
     caller.install(machine, compartment, linker)
-    linker.connect("caller", "echo", DirectChannel(machine, caller, echo))
+    linker.connect("caller", "echo", make_channel("direct", machine, caller, echo))
     machine.boot_context(space)
     return machine, compartment, linker, echo, caller
 

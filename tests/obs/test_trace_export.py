@@ -153,3 +153,45 @@ def test_killed_thread_spans_auto_close(tmp_path):
     ]
     if image.obs.tracer.open_spans():  # pragma: no cover - depends on timing
         assert auto
+
+
+def test_killed_thread_gate_spans_closed_by_gate(tmp_path):
+    """Regression: destroying a thread parked in a blocking gate chain
+    must close the gate spans at the gate (GeneratorExit path), not
+    lean on the exporter's auto-close fallback."""
+    image = build_image(
+        BuildConfig(libraries=LIBS, compartments=ISOLATED, backend="mpk-shared")
+    )
+    image.enable_tracing()
+    run_iperf(image, 1024, 1 << 15)
+    # The rx thread is parked inside netstack->sched blocking gates.
+    image.scheduler.kill_all()
+    tracer = image.obs.tracer
+    assert [
+        span for span in tracer.open_spans() if span[2] == "gate"
+    ] == [], "gates must end their spans when the generator is closed"
+    data = chrome_trace(tracer)
+    assert validate_chrome_trace(data) == []
+    gate_events = [
+        event
+        for event in data["traceEvents"]
+        if event.get("cat") == "gate" and event["ph"] in ("B", "E")
+    ]
+    begins = sum(1 for event in gate_events if event["ph"] == "B")
+    ends = sum(1 for event in gate_events if event["ph"] == "E")
+    assert begins == ends
+    assert not any(
+        event.get("args", {}).get("auto_closed")
+        for event in data["traceEvents"]
+        if event.get("cat") == "gate"
+    )
+    # The crossing counter agrees with the number of gate spans begun.
+    crossings = sum(
+        count for _, _, kind, count in image.crossing_report() if kind != "direct"
+    )
+    gate_slices = sum(
+        1
+        for event in data["traceEvents"]
+        if event.get("cat") == "gate" and event["ph"] in ("B", "X")
+    )
+    assert gate_slices == crossings

@@ -1,0 +1,95 @@
+"""InjectionPlan DSL: validation, serialisation, seeded schedules."""
+
+import pytest
+
+from repro.resilience.plan import SITES, FaultSpec, InjectionPlan
+
+
+def test_known_sites():
+    assert set(SITES) == {
+        "gate-crash",
+        "wild-write",
+        "alloc-exhaustion",
+        "sched-kill",
+        "vm-drop",
+        "vm-dup",
+    }
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ValueError, match="unknown injection site"):
+        FaultSpec("cosmic-ray")
+
+
+def test_nth_and_count_validated():
+    with pytest.raises(ValueError, match="nth and count"):
+        FaultSpec("gate-crash", nth=0)
+    with pytest.raises(ValueError, match="nth and count"):
+        FaultSpec("gate-crash", count=0)
+
+
+def test_wild_write_requires_victim():
+    with pytest.raises(ValueError, match="victim"):
+        FaultSpec("wild-write")
+    FaultSpec("wild-write", victim="sched")  # fine
+
+
+def test_sched_kill_requires_thread_filter():
+    with pytest.raises(ValueError, match="thread"):
+        FaultSpec("sched-kill")
+
+
+def test_edge_matching():
+    spec = FaultSpec("gate-crash", callee="netstack")
+    assert spec.matches_edge("iperf", "netstack", "mpk-shared")
+    assert not spec.matches_edge("iperf", "sched", "mpk-shared")
+    narrow = FaultSpec("gate-crash", caller="iperf", kind="vm-rpc")
+    assert narrow.matches_edge("iperf", "netstack", "vm-rpc")
+    assert not narrow.matches_edge("netstack", "iperf", "vm-rpc")
+    assert not narrow.matches_edge("iperf", "netstack", "direct")
+
+
+def test_fluent_builders_accumulate():
+    plan = (
+        InjectionPlan(seed=3)
+        .crash_crossing(callee="netstack", nth=2)
+        .wild_write(victim="sched")
+        .exhaust_alloc(heap="shared")
+        .kill_thread(thread="iperf")
+        .drop_vm_notify()
+        .duplicate_vm_notify()
+    )
+    assert [spec.site for spec in plan.specs] == [
+        "gate-crash",
+        "wild-write",
+        "alloc-exhaustion",
+        "sched-kill",
+        "vm-drop",
+        "vm-dup",
+    ]
+
+
+def test_dict_roundtrip():
+    plan = InjectionPlan(seed=11).crash_crossing(callee="netstack", nth=2)
+    rebuilt = InjectionPlan.from_dict(plan.to_dict())
+    assert rebuilt.seed == 11
+    assert rebuilt.specs == plan.specs
+    assert rebuilt.to_dict() == plan.to_dict()
+
+
+def test_schedules_are_deterministic():
+    def variants(seed):
+        plan = InjectionPlan(seed=seed).crash_crossing(callee="netstack", nth=3)
+        return [
+            (schedule.seed, tuple(spec.nth for spec in schedule.specs))
+            for schedule in plan.schedules(4)
+        ]
+
+    assert variants(5) == variants(5)
+    assert variants(5) != variants(6)
+
+
+def test_schedules_jitter_never_fires_early():
+    plan = InjectionPlan(seed=1).crash_crossing(callee="netstack", nth=3)
+    for schedule in plan.schedules(8):
+        assert schedule.specs[0].nth >= 3
