@@ -19,14 +19,42 @@ Structure relevant to the paper's numbers:
 - each request allocates and frees a small reply object, so allocator
   instrumentation (ASAN's malloc tax) is paid per request — the
   mechanism behind the global-vs-local allocator gap in Figure 4.
+
+Durability: when the image links the ``kv`` micro-library, SET and DEL
+are journaled through the gate into the storage compartment (AOF-style:
+the value travels straight from the shared request buffer), and
+:meth:`RedisServerApp.recover` replays the log into the in-memory store
+after a reboot.  Whether an acknowledged SET survives a power failure
+then depends on the kv flush policy — ``every-write`` is redis
+``appendfsync always``; ``batch:N`` is ``everysec``-style batching.
+INCR/APPEND stay volatile (scope of the durability study is SET/DEL).
 """
 
 from __future__ import annotations
 
 from typing import Generator
 
+from repro.libos.kv.store import MAX_VALUE as KV_MAX_VALUE
 from repro.libos.library import MicroLibrary, export
 from repro.machine.faults import GateError
+
+
+class DumpTruncatedError(GateError):
+    """A dump file ended mid-record during ``load``.
+
+    The pre-fix behaviour silently accepted short ``vfs.read`` returns
+    mid-record and rebuilt a corrupt store from whatever bytes happened
+    to be in the staging buffer; now a truncated or torn dump is a
+    typed, observable failure.
+    """
+
+    def __init__(self, context: str, expected: int, got: int) -> None:
+        self.context = context
+        self.expected = expected
+        self.got = got
+        super().__init__(
+            f"dump truncated in {context}: wanted {expected} bytes, got {got}"
+        )
 
 
 class RedisServerApp(MicroLibrary):
@@ -37,8 +65,9 @@ class RedisServerApp(MicroLibrary):
     [Memory access] Read(Own,Shared); Write(Own,Shared)
     [Call] netstack::listen, netstack::recv, netstack::send, \
 alloc::malloc, alloc::free, alloc::malloc_shared, alloc::free_shared, \
-vfs::open, vfs::read, vfs::write, vfs::close
-    [API] redis_stats(); dbsize(); save(path); load(path)
+vfs::open, vfs::read, vfs::write, vfs::close, \
+kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
+    [API] redis_stats(); dbsize(); save(path); load(path); recover()
     """
     TRUE_BEHAVIOR = {
         "writes": ["Own", "Shared"],
@@ -55,6 +84,12 @@ vfs::open, vfs::read, vfs::write, vfs::close
             "vfs::read",
             "vfs::write",
             "vfs::close",
+            "kv::put",
+            "kv::get",
+            "kv::delete",
+            "kv::sync",
+            "kv::recover",
+            "kv::kv_keys",
         ],
     }
 
@@ -68,6 +103,7 @@ vfs::open, vfs::read, vfs::write, vfs::close
         super().__init__()
         self._net = None
         self._alloc = None
+        self._kv = None
         #: key (bytes) → (value address in private heap, length)
         self._store: dict[bytes, tuple[int, int]] = {}
         self.sets = 0
@@ -75,11 +111,22 @@ vfs::open, vfs::read, vfs::write, vfs::close
         self.misses = 0
         self.errors = 0
         self.responses = 0
+        #: SET/DEL journaled into the kv compartment (durable mode only).
+        self.kv_writes = 0
         self.running = False
 
     def on_boot(self) -> None:
         self._net = self.stub("netstack")
         self._alloc = self.stub("alloc")
+        if self.linker is not None and self.linker.has_link(self, "kv"):
+            # Optional durability: journal through the gate into the
+            # storage compartment whenever the image links kv.
+            self._kv = self.stub("kv")
+
+    @property
+    def durable(self) -> bool:
+        """True when SET/DEL are journaled into the kv compartment."""
+        return self._kv is not None
 
     # --- server loop ----------------------------------------------------------
 
@@ -187,6 +234,14 @@ vfs::open, vfs::read, vfs::write, vfs::close
         return parts[1], length
 
     def _do_set(self, key: bytes, value_addr: int, length: int) -> None:
+        if self._kv is not None and length <= KV_MAX_VALUE:
+            # AOF-style journal first: the value is still sitting in the
+            # shared request buffer, so the storage compartment can read
+            # it straight through the gate without another staging copy.
+            # Journal-before-apply means an acknowledged SET is at least
+            # as durable as the kv flush policy promises.
+            self._kv.call("put", key, value_addr, length)
+            self.kv_writes += 1
         old = self._store.pop(key, None)
         if old is not None:
             self._alloc.call("free", old[0])
@@ -215,6 +270,9 @@ vfs::open, vfs::read, vfs::write, vfs::close
     def _do_del(self, key: bytes, resp_buf: int) -> int:
         entry = self._store.pop(key, None)
         if entry is not None:
+            if self._kv is not None:
+                self._kv.call("delete", key)
+                self.kv_writes += 1
             self._alloc.call("free", entry[0])
         reply = b":%d\n" % (1 if entry is not None else 0)
         self.machine.store(resp_buf, reply)
@@ -309,9 +367,27 @@ vfs::open, vfs::read, vfs::write, vfs::close
             self._alloc.call("free_shared", staging)
         return records
 
+    def _read_exact(self, vfs, fd: int, staging: int, count: int, context: str) -> bytes:
+        """Read exactly ``count`` bytes or raise :class:`DumpTruncatedError`.
+
+        ``vfs.read`` legitimately returns short at EOF; *mid-record*
+        that means the dump was truncated or torn, and silently using
+        the stale staging-buffer bytes would rebuild a corrupt store.
+        """
+        got = vfs.call("read", fd, staging, count)
+        if got != count:
+            raise DumpTruncatedError(context, expected=count, got=got)
+        return self.machine.load(staging, count)
+
     @export
     def load(self, path: str) -> int:
-        """Restore the store from a dump; returns the record count."""
+        """Restore the store from a dump; returns the record count.
+
+        A dump that ends cleanly between records is a normal EOF; one
+        that ends *inside* a record raises :class:`DumpTruncatedError`
+        (and the store keeps the records restored so far — callers
+        decide whether a partial restore is acceptable).
+        """
         from repro.libos.fs.ramfs import O_RDONLY
 
         vfs = self.stub("vfs")
@@ -321,22 +397,33 @@ vfs::open, vfs::read, vfs::write, vfs::close
         try:
             while True:
                 got = vfs.call("read", fd, staging, 2)
-                if got < 2:
-                    break
+                if got == 0:
+                    break  # clean EOF on a record boundary
+                if got != 2:
+                    raise DumpTruncatedError(
+                        "record header", expected=2, got=got
+                    )
                 key_len = int.from_bytes(self.machine.load(staging, 2), "big")
-                vfs.call("read", fd, staging, key_len + 4)
-                raw = self.machine.load(staging, key_len + 4)
+                raw = self._read_exact(
+                    vfs, fd, staging, key_len + 4, "key + value length"
+                )
                 key = raw[:key_len]
                 value_len = int.from_bytes(raw[key_len:], "big")
                 stored = self._alloc.call("malloc", max(1, value_len))
                 remaining = value_len
                 copied = 0
-                while remaining > 0:
-                    chunk = min(remaining, self.BUF_SIZE)
-                    vfs.call("read", fd, staging, chunk)
-                    self.machine.copy(stored + copied, staging, chunk)
-                    copied += chunk
-                    remaining -= chunk
+                try:
+                    while remaining > 0:
+                        chunk = min(remaining, self.BUF_SIZE)
+                        self._read_exact(
+                            vfs, fd, staging, chunk, f"value of {key!r}"
+                        )
+                        self.machine.copy(stored + copied, staging, chunk)
+                        copied += chunk
+                        remaining -= chunk
+                except DumpTruncatedError:
+                    self._alloc.call("free", stored)
+                    raise
                 old = self._store.pop(key, None)
                 if old is not None:
                     self._alloc.call("free", old[0])
@@ -346,6 +433,42 @@ vfs::open, vfs::read, vfs::write, vfs::close
             vfs.call("close", fd)
             self._alloc.call("free_shared", staging)
         return records
+
+    # --- durability (AOF-style journal via the kv micro-library) -----------------------
+
+    @export
+    def recover(self) -> dict:
+        """Replay the durable kv journal into the in-memory store.
+
+        The boot path of a durable deployment: runs kv recovery (log
+        scan / hint load, CRC-discarding torn records), then pulls every
+        live key back into the private heap.  Returns the recovery
+        report plus the number of keys restored.  A no-op (``durable:
+        False``) when the image has no kv library.
+        """
+        if self._kv is None:
+            return {"durable": False, "restored": 0}
+        report = self._kv.call("recover")
+        staging = self._alloc.call("malloc_shared", KV_MAX_VALUE)
+        restored = 0
+        try:
+            for key in self._kv.call("kv_keys"):
+                length = self._kv.call("get", key, staging)
+                if length < 0:
+                    continue  # raced with a tombstone; nothing to restore
+                old = self._store.pop(key, None)
+                if old is not None:
+                    self._alloc.call("free", old[0])
+                stored = self._alloc.call("malloc", max(1, length))
+                if length:
+                    self.machine.copy(stored, staging, length)
+                self._store[key] = (stored, length)
+                restored += 1
+        finally:
+            self._alloc.call("free_shared", staging)
+        report = dict(report)
+        report.update({"durable": True, "restored": restored})
+        return report
 
     # --- exports ---------------------------------------------------------------------
 
@@ -358,6 +481,8 @@ vfs::open, vfs::read, vfs::write, vfs::close
             "misses": self.misses,
             "errors": self.errors,
             "responses": self.responses,
+            "durable": self.durable,
+            "kv_writes": self.kv_writes,
         }
 
     @export

@@ -41,8 +41,10 @@ from repro.gates.base import GateOptions
 from repro.gates.registry import make_channel
 from repro.libos.alloc.allocator import HeapAllocator
 from repro.libos.alloc.liballoc import AllocLibrary
+from repro.libos.blk.blkdev import BlockDeviceLibrary
 from repro.libos.compartment import Compartment
 from repro.libos.fs.ramfs import FileSystemLibrary
+from repro.libos.kv.store import KVStoreLibrary
 from repro.libos.library import Linker, MicroLibrary
 from repro.libos.libc.libc import LibCLibrary
 from repro.libos.mq.mq import MessageQueueLibrary
@@ -57,6 +59,8 @@ from repro.machine.mpk import pkru_for_keys
 #: add themselves via :func:`register_library` (see repro.apps).
 LIBRARY_TYPES: dict[str, type[MicroLibrary]] = {
     "alloc": AllocLibrary,
+    "blk": BlockDeviceLibrary,
+    "kv": KVStoreLibrary,
     "libc": LibCLibrary,
     "mq": MessageQueueLibrary,
     "netstack": NetstackLibrary,

@@ -13,7 +13,15 @@ from repro.libos.sched.coop import CoopScheduler
 from repro.machine.machine import Machine
 
 #: Boot precedence: services come up before their consumers; apps last.
-_BOOT_ORDER = {"alloc": 0, "sched": 1, "libc": 2, "mq": 3, "netstack": 4}
+_BOOT_ORDER = {
+    "alloc": 0,
+    "sched": 1,
+    "libc": 2,
+    "mq": 3,
+    "netstack": 4,
+    "blk": 5,
+    "kv": 6,
+}
 
 
 def _boot_rank(library: MicroLibrary) -> int:

@@ -1,0 +1,15 @@
+"""The ``blk`` micro-library: a crash-semantics block device."""
+
+from repro.libos.blk.blkdev import (
+    SECTOR_SIZE,
+    BlockDeviceLibrary,
+    CrashReport,
+    DiskMedium,
+)
+
+__all__ = [
+    "SECTOR_SIZE",
+    "BlockDeviceLibrary",
+    "CrashReport",
+    "DiskMedium",
+]

@@ -114,13 +114,24 @@ stat(path); listdir(); fs_stats()
 
     def _grow_to(self, inode: _Inode, size: int) -> None:
         while len(inode.blocks) * self.BLOCK_SIZE < size:
-            inode.blocks.append(self._alloc.call("malloc", self.BLOCK_SIZE))
+            block = self._alloc.call("malloc", self.BLOCK_SIZE)
+            # Fresh blocks must read as zeros: a sparse write past EOF
+            # (lseek + write) leaves a hole, and heap blocks recycle
+            # whatever bytes a previous owner freed there.
+            self.machine.fill(block, 0, self.BLOCK_SIZE)
+            inode.blocks.append(block)
 
     def _release(self, inode: _Inode) -> None:
         for block in inode.blocks:
             self._alloc.call("free", block)
         inode.blocks.clear()
         inode.size = 0
+
+    def _orphaned(self, inode: _Inode) -> bool:
+        """Unlinked with no remaining open descriptor (POSIX orphan)."""
+        return inode.nlink == 0 and not any(
+            open_file.inode is inode for open_file in self._open.values()
+        )
 
     # --- exports --------------------------------------------------------------
 
@@ -151,9 +162,11 @@ stat(path); listdir(); fs_stats()
 
     @export
     def close(self, fd: int) -> None:
-        """Release a descriptor."""
-        self._file(fd)
+        """Release a descriptor; frees an unlinked file on last close."""
+        open_file = self._file(fd)
         del self._open[fd]
+        if self._orphaned(open_file.inode):
+            self._release(open_file.inode)
 
     @export
     def write(self, fd: int, buf_addr: int, length: int) -> int:
@@ -229,12 +242,20 @@ stat(path); listdir(); fs_stats()
 
     @export
     def unlink(self, path: str) -> None:
-        """Delete a file and free its blocks."""
+        """Delete a file; blocks are freed once no fd references it.
+
+        POSIX semantics: open descriptors keep reading and writing the
+        unlinked file (freeing the blocks under them would be a
+        use-after-free on the simulated heap); the last ``close`` frees
+        the storage.
+        """
         self.charge(self.machine.cost.fs_op_ns)
         inode = self._inodes.pop(path, None)
         if inode is None:
             raise GateError(f"no such file: {path}")
-        self._release(inode)
+        inode.nlink = 0
+        if self._orphaned(inode):
+            self._release(inode)
 
     @export
     def fstat(self, fd: int) -> dict:

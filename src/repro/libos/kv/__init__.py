@@ -1,0 +1,13 @@
+"""The ``kv`` micro-library: a bitcask-style log-structured store."""
+
+from repro.libos.kv.store import (
+    MAX_VALUE,
+    KVStoreLibrary,
+    RecordError,
+)
+
+__all__ = [
+    "MAX_VALUE",
+    "KVStoreLibrary",
+    "RecordError",
+]

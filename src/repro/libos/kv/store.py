@@ -1,0 +1,794 @@
+"""The ``kv`` micro-library: a bitcask-style log-structured KV store.
+
+Layered on the ``blk`` micro-library, in the architecture Bitcask made
+canonical (Sheehy & Smith, 2010):
+
+- every put/delete *appends* a CRC-framed record to the active segment;
+- an in-memory **keydir** maps each key to its latest record's location;
+- sealed segments get **hint files** (compact keydir snapshots) so
+  recovery can rebuild the keydir without scanning the data;
+- a size-triggered **compaction/merge** rewrites live records into
+  fresh segments and drops superseded ones.
+
+Durability contract: a record is durable once a ``blk_flush`` barrier
+completes after its append.  The flush policy (``every-write`` or
+``batch:N``) decides when that happens; ``sync()`` forces it.  After a
+crash, recovery replays the manifest's segments in order, discards any
+torn record at first CRC mismatch (everything behind a torn record in
+a log segment is unreachable, by construction), and rebuilds the
+keydir — so *every* flushed-acknowledged write is readable again and
+*no* torn record ever surfaces to a reader.
+
+On-disk layout (sector-addressed through ``blk``)::
+
+    sector 0,1          dual manifest (crc32 | gen | count | slot ids);
+                        the valid manifest with the highest generation
+                        wins, writes alternate between the two sectors
+    per slot i          2 + i*(SEG_SECTORS+HINT_SECTORS) ... data
+                        sectors, then HINT_SECTORS of hint records
+
+Record framing: ``crc32(4) seq(8) klen(2) vlen(4) flags(1) key value``
+with the CRC covering everything after itself.  ``flags`` bit 0 marks
+a tombstone.  ``seq`` is a store-wide monotonic counter, so replay
+order is well-defined even across merged segments.
+
+The declared FlexOS metadata is conservative (like the filesystem's):
+unhardened C storage engines cannot bound their behaviour.  The
+``[Requires]`` clause protects the keydir the way the allocator
+protects its heap headers: compartment neighbours may read but never
+write kv memory, and control may only enter through the API.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+import zlib
+
+from repro.libos.library import MicroLibrary, export
+from repro.machine.faults import GateError, MachineError
+
+from repro.libos.blk.blkdev import SECTOR_SIZE
+
+#: Largest value accepted by :meth:`KVStoreLibrary.put` (one record
+#: must fit comfortably inside a segment).
+MAX_VALUE = 4096
+
+#: Record header: crc32 | seq | klen | vlen | flags.
+_HDR = struct.Struct(">IQHIB")
+#: Hint entry header: seq | offset | rec_len | flags | klen.
+_HINT_ENTRY = struct.Struct(">QIIBH")
+#: Manifest header: crc32 | gen | count.
+_MANIFEST = struct.Struct(">IQH")
+
+_TOMBSTONE = 0x01
+#: Padding record (fills a sector's tail at a flush barrier; never
+#: enters the keydir).
+_PAD = 0x02
+
+
+class RecordError(MachineError):
+    """A stored record failed its CRC or framing check on read."""
+
+
+@dataclasses.dataclass(frozen=True)
+class _KeyDirEntry:
+    """Latest known location of one key."""
+
+    slot: int
+    offset: int
+    rec_len: int
+    seq: int
+    flags: int
+
+    @property
+    def tombstone(self) -> bool:
+        return bool(self.flags & _TOMBSTONE)
+
+
+def _encode_record(key: bytes, value: bytes, seq: int, flags: int) -> bytes:
+    body = (
+        struct.pack(">QHIB", seq, len(key), len(value), flags) + key + value
+    )
+    return struct.pack(">I", zlib.crc32(body)) + body
+
+
+class KVStoreLibrary(MicroLibrary):
+    """Bitcask-style store over the ``blk`` micro-library."""
+
+    NAME = "kv"
+    SPEC = """
+    [Memory access] Read(*); Write(*)
+    [Call] *
+    [API] put(key, buf, n); get(key, buf); delete(key); sync(); \
+compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
+    [Requires] *(Read,Own), *(Write,Shared), *(Call, put), *(Call, get), \
+*(Call, delete), *(Call, sync), *(Call, compact), *(Call, recover), \
+*(Call, set_flush_policy), *(Call, kv_keys), *(Call, kv_stats)
+    """
+    TRUE_BEHAVIOR = {
+        "writes": ["Own", "Shared"],
+        "reads": ["Own", "Shared"],
+        "calls": [
+            "alloc::malloc",
+            "alloc::free",
+            "alloc::malloc_shared",
+            "alloc::free_shared",
+            "blk::blk_info",
+            "blk::blk_read",
+            "blk::blk_write",
+            "blk::blk_flush",
+        ],
+    }
+    API_CONTRACTS = {
+        "put": [
+            (
+                lambda args: 0 <= args[2] <= MAX_VALUE,
+                f"value length must be in [0, {MAX_VALUE}]",
+            ),
+        ],
+    }
+    POINTER_PARAMS = {"put": (1,), "get": (1,)}
+    CAP_GRANTS = {"put": ((1, 2),), "get": ((1, -MAX_VALUE),)}
+
+    #: Segment slots on the medium (manifest lists the live subset).
+    NUM_SLOTS = 8
+    #: Data sectors per slot (segment capacity = SEG_SECTORS * 512).
+    SEG_SECTORS = 32
+    #: Hint sectors per slot; an oversized hint is simply not written
+    #: (recovery falls back to a scan).
+    HINT_SECTORS = 16
+    #: Sealed-slot count that triggers an automatic merge on seal.
+    COMPACT_THRESHOLD = 5
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._blk = None
+        self._alloc = None
+        self._staging = 0  # shared sector buffer for the blk gate
+        self._open = False
+        self._keydir: dict[bytes, _KeyDirEntry] = {}
+        #: Append-order record metadata per live slot (hint source):
+        #: slot → list of (key, seq, offset, rec_len, flags).
+        self._slot_records: dict[int, list] = {}
+        self._slots: list[int] = [0]
+        self._gen = 0
+        self._seq = 0
+        self._durable_seq = 0
+        self._append_offset = 0
+        self._tail = b""  # bytes of the active slot's partial sector
+        self._flush_policy = "every-write"
+        self._batch = 1
+        self._unflushed = 0
+        self.puts = 0
+        self.gets = 0
+        self.deletes = 0
+        self.compactions = 0
+        self.recoveries = 0
+        self.torn_discarded = 0
+        self.hint_hits = 0
+        self.hint_misses = 0
+
+    def on_boot(self) -> None:
+        self._blk = self.stub("blk")
+        self._alloc = self.stub("alloc")
+
+    # --- geometry -----------------------------------------------------------
+
+    @property
+    def _seg_bytes(self) -> int:
+        return self.SEG_SECTORS * SECTOR_SIZE
+
+    def _slot_base(self, slot: int) -> int:
+        return 2 + slot * (self.SEG_SECTORS + self.HINT_SECTORS)
+
+    def _hint_base(self, slot: int) -> int:
+        return self._slot_base(slot) + self.SEG_SECTORS
+
+    @property
+    def _active(self) -> int:
+        return self._slots[-1]
+
+    # --- sector plumbing (all data moves through the blk gate) -------------
+
+    def _buf(self) -> int:
+        if not self._staging:
+            self._staging = self._alloc.call("malloc_shared", SECTOR_SIZE)
+        return self._staging
+
+    def _write_sector(self, sector: int, payload: bytes) -> None:
+        if len(payload) < SECTOR_SIZE:
+            payload = payload + b"\x00" * (SECTOR_SIZE - len(payload))
+        buf = self._buf()
+        self.machine.store(buf, payload)
+        self._blk.call("blk_write", sector, buf)
+
+    def _read_sector(self, sector: int) -> bytes:
+        buf = self._buf()
+        self._blk.call("blk_read", sector, buf)
+        return self.machine.load(buf, SECTOR_SIZE)
+
+    def _read_span(self, base: int, start: int, length: int) -> bytes:
+        """Read ``length`` bytes at byte ``start`` of a sector region."""
+        first, first_off = divmod(start, SECTOR_SIZE)
+        last = (start + length - 1) // SECTOR_SIZE
+        data = b"".join(
+            self._read_sector(base + index) for index in range(first, last + 1)
+        )
+        return data[first_off : first_off + length]
+
+    # --- manifest -----------------------------------------------------------
+
+    def _commit_manifest(self) -> None:
+        """Write the next-generation manifest to the alternate sector."""
+        self._gen += 1
+        body = struct.pack(">QH", self._gen, len(self._slots)) + b"".join(
+            struct.pack(">H", slot) for slot in self._slots
+        )
+        payload = struct.pack(">I", zlib.crc32(body)) + body
+        self._write_sector(self._gen % 2, payload)
+
+    def _load_manifest(self) -> tuple[int, list[int]] | None:
+        best: tuple[int, list[int]] | None = None
+        for sector in (0, 1):
+            raw = self._read_sector(sector)
+            crc, gen, count = _MANIFEST.unpack_from(raw, 0)
+            if gen == 0 or count > self.NUM_SLOTS:
+                continue
+            body_len = _MANIFEST.size - 4 + count * 2
+            body = raw[4 : 4 + body_len]
+            if zlib.crc32(body) != crc:
+                continue
+            slots = [
+                struct.unpack_from(">H", raw, _MANIFEST.size + 2 * i)[0]
+                for i in range(count)
+            ]
+            if not slots or any(s >= self.NUM_SLOTS for s in slots):
+                continue
+            if best is None or gen > best[0]:
+                best = (gen, slots)
+        return best
+
+    # --- recovery ------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if not self._open:
+            self._recover_state()
+
+    def _recover_state(self) -> dict:
+        """Rebuild keydir + append state from the medium (boot path)."""
+        cpu = self.machine.cpu
+        started = cpu.clock_ns
+        self._keydir.clear()
+        self._slot_records.clear()
+        self._seq = 0
+        self._append_offset = 0
+        self._tail = b""
+        torn = 0
+        records = 0
+        manifest = self._load_manifest()
+        if manifest is None:
+            self._gen, self._slots = 0, [0]
+        else:
+            self._gen, self._slots = manifest
+        injector = self.machine.injector
+        for index, slot in enumerate(self._slots):
+            if injector is not None:
+                injector.on_kv_phase(self, "recovery")
+            is_active = index == len(self._slots) - 1
+            entries = None
+            if not is_active:
+                entries = self._read_hint(slot)
+                if entries is not None:
+                    self.hint_hits += 1
+                    cpu.bump("kv.hint_hits")
+                else:
+                    self.hint_misses += 1
+                    cpu.bump("kv.hint_misses")
+            end_offset = self._seg_bytes
+            if entries is None:
+                entries, slot_torn, end_offset = self._scan_slot(slot)
+                torn += slot_torn
+            self._slot_records[slot] = entries
+            for key, seq, offset, rec_len, flags in entries:
+                records += 1
+                self._apply(
+                    key, _KeyDirEntry(slot, offset, rec_len, seq, flags)
+                )
+                self._seq = max(self._seq, seq)
+            if is_active:
+                self._append_offset = end_offset
+                partial = end_offset % SECTOR_SIZE
+                if partial:
+                    self._tail = self._read_span(
+                        self._slot_base(slot), end_offset - partial, partial
+                    )
+        self._durable_seq = self._seq
+        self._unflushed = 0
+        self._open = True
+        if self._append_offset % SECTOR_SIZE:
+            # The recovered log ends mid-sector, so torn/unreachable
+            # garbage follows the last good record.  Appending into
+            # that sector would either rewrite acknowledged records
+            # (torn-write hazard) or strand new records behind the
+            # garbage, so the slot is sealed as-is — without rewriting
+            # any data sector — and a fresh slot becomes active.
+            self._seal_recovered_slot()
+        self.torn_discarded += torn
+        self.recoveries += 1
+        elapsed = cpu.clock_ns - started
+        cpu.bump("kv.recoveries")
+        cpu.bump("kv.torn_records_discarded", torn)
+        cpu.metrics.histogram("kv.recovery_ns").observe(elapsed)
+        return {
+            "slots": list(self._slots),
+            "records": records,
+            "live_keys": len(self.kv_keys()),
+            "torn_discarded": torn,
+            "recovery_ns": elapsed,
+            "generation": self._gen,
+        }
+
+    def _scan_slot(self, slot: int) -> tuple[list, int, int]:
+        """Full scan of one segment; stops at clean end or first tear.
+
+        Understands the append path's sector framing: pad records (and
+        sub-header zero gaps at sector tails) are skipped so a scan can
+        walk across flush-barrier padding to the true end of the log.
+        """
+        data = b"".join(
+            self._read_sector(self._slot_base(slot) + index)
+            for index in range(self.SEG_SECTORS)
+        )
+        entries = []
+        torn = 0
+        offset = 0
+        while offset + _HDR.size <= len(data):
+            in_sector = offset % SECTOR_SIZE
+            if SECTOR_SIZE - in_sector < _HDR.size:
+                # Too little room for a header: barrier zero-fill.
+                offset += SECTOR_SIZE - in_sector
+                continue
+            header = data[offset : offset + _HDR.size]
+            if header == b"\x00" * _HDR.size:
+                break  # clean end of log
+            crc, seq, klen, vlen, flags = _HDR.unpack(header)
+            rec_len = _HDR.size + klen + vlen
+            if offset + rec_len > len(data):
+                torn += 1
+                break
+            if zlib.crc32(data[offset + 4 : offset + rec_len]) != crc:
+                torn += 1
+                break  # everything behind a torn record is unreachable
+            if not flags & _PAD:
+                key = data[offset + _HDR.size : offset + _HDR.size + klen]
+                entries.append((key, seq, offset, rec_len, flags))
+            offset += rec_len
+        return entries, torn, offset
+
+    def _apply(self, key: bytes, entry: _KeyDirEntry) -> None:
+        current = self._keydir.get(key)
+        if current is None or entry.seq > current.seq:
+            self._keydir[key] = entry
+
+    # --- hints ---------------------------------------------------------------
+
+    def _write_hint(self, slot: int, entries: list) -> bool:
+        """Persist a hint for a sealed slot; False when it won't fit."""
+        body = struct.pack(">I", len(entries))
+        for key, seq, offset, rec_len, flags in entries:
+            body += _HINT_ENTRY.pack(seq, offset, rec_len, flags, len(key))
+            body += key
+        payload = struct.pack(">I", zlib.crc32(body)) + body
+        if len(payload) > self.HINT_SECTORS * SECTOR_SIZE:
+            return False
+        base = self._hint_base(slot)
+        for index in range(0, len(payload), SECTOR_SIZE):
+            self._write_sector(
+                base + index // SECTOR_SIZE,
+                payload[index : index + SECTOR_SIZE],
+            )
+        return True
+
+    def _read_hint(self, slot: int) -> list | None:
+        """Parse one slot's hint region; None when absent/corrupt.
+
+        Sectors are read lazily as parsing needs them, so a small hint
+        costs far fewer device reads than a full segment scan.
+        """
+        base = self._hint_base(slot)
+        data = self._read_sector(base)
+        crc, count = struct.unpack_from(">II", data, 0)
+        sector = 1
+        entries = []
+        offset = 8
+        for _ in range(count):
+            while offset + _HINT_ENTRY.size > len(data):
+                if sector >= self.HINT_SECTORS:
+                    return None
+                data += self._read_sector(base + sector)
+                sector += 1
+            seq, rec_offset, rec_len, flags, klen = _HINT_ENTRY.unpack_from(
+                data, offset
+            )
+            offset += _HINT_ENTRY.size
+            while offset + klen > len(data):
+                if sector >= self.HINT_SECTORS:
+                    return None
+                data += self._read_sector(base + sector)
+                sector += 1
+            key = data[offset : offset + klen]
+            offset += klen
+            entries.append((key, seq, rec_offset, rec_len, flags))
+        if zlib.crc32(data[4:offset]) != crc:
+            return None
+        if entries:
+            # Epoch cross-check: slots are recycled by compaction, so a
+            # crash can leave a *stale but internally-valid* hint from
+            # the slot's previous life next to new data.  The hint is
+            # only trusted if its first entry matches the data region.
+            _, seq0, offset0, _, _ = entries[0]
+            raw = self._read_span(self._slot_base(slot), offset0, _HDR.size)
+            _, data_seq, _, _, _ = _HDR.unpack(raw)
+            if data_seq != seq0:
+                return None
+        return entries
+
+    # --- append path ----------------------------------------------------------
+
+    def _append(self, key: bytes, value: bytes, flags: int) -> int:
+        self._seq += 1
+        seq = self._seq
+        record = _encode_record(key, value, seq, flags)
+        if self._append_offset + len(record) > self._seg_bytes:
+            self._seal_active()
+        offset = self._append_offset
+        self._write_record_bytes(record)
+        self._slot_records.setdefault(self._active, []).append(
+            (key, seq, offset, len(record), flags)
+        )
+        self._apply(key, _KeyDirEntry(self._active, offset, len(record), seq, flags))
+        self.machine.cpu.bump("kv.appends")
+        return seq
+
+    def _write_record_bytes(self, record: bytes) -> None:
+        """Append raw record bytes at the active slot's tail."""
+        base = self._slot_base(self._active)
+        tail_start = self._append_offset - len(self._tail)
+        buf = self._tail + record
+        sector = base + tail_start // SECTOR_SIZE
+        index = 0
+        while len(buf) - index >= SECTOR_SIZE:
+            self._write_sector(sector, buf[index : index + SECTOR_SIZE])
+            sector += 1
+            index += SECTOR_SIZE
+        self._tail = buf[index:]
+        self._append_offset += len(record)
+
+    def _flush_tail(self) -> None:
+        """Write the partial tail sector (padded) so it can be flushed."""
+        if not self._tail:
+            return
+        base = self._slot_base(self._active)
+        tail_start = self._append_offset - len(self._tail)
+        self._write_sector(base + tail_start // SECTOR_SIZE, self._tail)
+
+    def _pad_to_sector(self) -> None:
+        """Advance the append point to a sector boundary.
+
+        Called at every flush barrier so that a flushed (acknowledged)
+        record never shares a sector with a later unflushed append — a
+        torn write of the shared sector would otherwise destroy
+        already-acknowledged data, which is exactly the failure the
+        durability contract forbids.  The wasted tail is the usual
+        write-amplification cost of sector-aligned commits; compaction
+        reclaims it.
+        """
+        if not self._tail:
+            return
+        remainder = SECTOR_SIZE - len(self._tail)
+        if remainder >= _HDR.size:
+            # A CRC-framed pad record fills the sector exactly.
+            pad = _encode_record(
+                b"", b"\x00" * (remainder - _HDR.size), 0, _PAD
+            )
+            self._write_record_bytes(pad)
+        else:
+            # No room for a pad header: zero-fill; the scanner skips
+            # sub-header gaps at sector tails.
+            self._flush_tail()
+            self._append_offset += remainder
+            self._tail = b""
+
+    def _barrier(self) -> None:
+        """Flush barrier: everything appended so far becomes durable."""
+        self._pad_to_sector()
+        self._blk.call("blk_flush")
+        self._durable_seq = self._seq
+        self._unflushed = 0
+
+    def _after_write(self) -> None:
+        self._unflushed += 1
+        if self._unflushed >= self._batch:
+            self._barrier()
+
+    def _free_slot(self) -> int | None:
+        used = set(self._slots)
+        for slot in range(self.NUM_SLOTS):
+            if slot not in used:
+                return slot
+        return None
+
+    def _seal_recovered_slot(self) -> None:
+        """Seal the crash-damaged active slot at recovery time.
+
+        Writes only the hint and a new manifest — never a data sector,
+        so a crash during this step cannot damage recovered records.
+        """
+        entries = self._slot_records.get(self._active, [])
+        if not self._write_hint(self._active, entries):
+            self.machine.cpu.bump("kv.hint_skipped")
+        slot = self._free_slot()
+        if slot is None:
+            self._merge()  # reclaims superseded slots; leaves clean state
+            return
+        self._slots.append(slot)
+        self._slot_records[slot] = []
+        self._append_offset = 0
+        self._tail = b""
+        self._commit_manifest()
+        self._blk.call("blk_flush")
+
+    def _seal_slot_metadata(self) -> None:
+        """Persist the active slot's tail and hint (pre-seal step)."""
+        self._flush_tail()
+        sealed_entries = self._slot_records.get(self._active, [])
+        if not self._write_hint(self._active, sealed_entries):
+            self.machine.cpu.bump("kv.hint_skipped")
+
+    def _seal_active(self) -> None:
+        """Seal the full active slot and open a fresh one."""
+        self._seal_slot_metadata()
+        if len(self._slots) >= self.COMPACT_THRESHOLD:
+            self._merge()
+            if self._append_offset + MAX_VALUE < self._seg_bytes:
+                return  # merge left room in its active slot
+            self._seal_slot_metadata()
+        slot = self._free_slot()
+        if slot is None:
+            raise GateError("kv: out of segment slots (compaction cannot help)")
+        self._slots.append(slot)
+        self._slot_records[slot] = []
+        self._append_offset = 0
+        self._tail = b""
+        self._commit_manifest()
+        self._blk.call("blk_flush")
+        self._durable_seq = self._seq
+        self._unflushed = 0
+
+    # --- record reads ---------------------------------------------------------
+
+    def _read_record(self, entry: _KeyDirEntry) -> tuple[bytes, bytes]:
+        raw = self._read_span(
+            self._slot_base(entry.slot), entry.offset, entry.rec_len
+        )
+        if entry.slot == self._active and self._tail:
+            # The record may extend into the in-memory tail (appended
+            # but not yet written to the device) — overlay it.
+            tail_start = self._append_offset - len(self._tail)
+            lo = max(entry.offset, tail_start)
+            hi = min(entry.offset + entry.rec_len, self._append_offset)
+            if lo < hi:
+                patched = bytearray(raw)
+                patched[lo - entry.offset : hi - entry.offset] = self._tail[
+                    lo - tail_start : hi - tail_start
+                ]
+                raw = bytes(patched)
+        crc, seq, klen, vlen, flags = _HDR.unpack_from(raw, 0)
+        if zlib.crc32(raw[4:]) != crc or seq != entry.seq:
+            raise RecordError(
+                f"kv: record at slot {entry.slot}+{entry.offset} corrupt"
+            )
+        key = raw[_HDR.size : _HDR.size + klen]
+        value = raw[_HDR.size + klen : _HDR.size + klen + vlen]
+        return key, value
+
+    # --- compaction -----------------------------------------------------------
+
+    def _merge(self) -> dict:
+        """Merge live records into free slots; atomic manifest commit."""
+        self._flush_tail()
+        self._blk.call("blk_flush")
+        free = [
+            slot
+            for slot in range(self.NUM_SLOTS)
+            if slot not in set(self._slots)
+        ]
+        if not free:
+            raise GateError("kv: no free slots to compact into")
+        live = sorted(
+            (
+                (entry.seq, key, entry)
+                for key, entry in self._keydir.items()
+                if not entry.tombstone
+            ),
+        )
+        # Pack live records into fresh segment images, in seq order.
+        images: list[tuple[int, bytearray, list]] = []
+        for seq, key, entry in live:
+            _, value = self._read_record(entry)
+            record = _encode_record(key, value, seq, entry.flags)
+            if not images or len(images[-1][1]) + len(record) > self._seg_bytes:
+                if len(images) >= len(free):
+                    raise GateError("kv: live data exceeds free slots")
+                images.append((free[len(images)], bytearray(), []))
+            slot, image, entries = images[-1]
+            entries.append((key, seq, len(image), len(record), entry.flags))
+            image.extend(record)
+        if not images:
+            images.append((free[0], bytearray(), []))
+        # Write data (and hints for the sealed merge slots), then flush.
+        new_records: dict[int, list] = {}
+        for slot, image, entries in images:
+            base = self._slot_base(slot)
+            for start in range(0, len(image), SECTOR_SIZE):
+                self._write_sector(
+                    base + start // SECTOR_SIZE,
+                    bytes(image[start : start + SECTOR_SIZE]),
+                )
+            new_records[slot] = entries
+        for slot, image, entries in images[:-1]:
+            self._write_hint(slot, entries)
+        self._blk.call("blk_flush")
+        # The merged data is durable but unreferenced until the
+        # manifest commit below — the armed crash-mid-compaction site
+        # fires exactly here, and recovery must fall back to the old
+        # (still intact) segment chain.  Nothing in self points at the
+        # new slots yet, so a crash here loses no state.
+        injector = self.machine.injector
+        if injector is not None:
+            injector.on_kv_phase(self, "compaction")
+        old_slots = list(self._slots)
+        self._slots = [slot for slot, _, _ in images]
+        self._slot_records = new_records
+        last_slot, last_image, _ = images[-1]
+        self._append_offset = len(last_image)
+        partial = self._append_offset % SECTOR_SIZE
+        self._tail = bytes(last_image[-partial:]) if partial else b""
+        # Align the merged log to a sector boundary so future appends
+        # never rewrite a sector holding (flushed) merged records.
+        self._pad_to_sector()
+        self._commit_manifest()
+        self._blk.call("blk_flush")
+        self._durable_seq = self._seq
+        self._unflushed = 0
+        # Rebuild the keydir against the merged locations.
+        self._keydir = {}
+        for slot, entries in new_records.items():
+            for key, seq, offset, rec_len, flags in entries:
+                self._apply(key, _KeyDirEntry(slot, offset, rec_len, seq, flags))
+        self.compactions += 1
+        self.machine.cpu.bump("kv.compactions")
+        return {
+            "live_records": len(live),
+            "slots_before": len(old_slots),
+            "slots_after": len(images),
+        }
+
+    # --- exports --------------------------------------------------------------
+
+    @export
+    def put(self, key: bytes, value_addr: int, value_len: int) -> int:
+        """Append key=value; returns the record's sequence number.
+
+        Durable per the flush policy: with ``every-write`` the call
+        returns only after a flush barrier, so a returned seq IS the
+        durability acknowledgement.
+        """
+        if not 0 <= value_len <= MAX_VALUE:
+            raise GateError(f"kv: value length {value_len} out of range")
+        if not key or len(key) > 1024:
+            raise GateError("kv: key must be 1..1024 bytes")
+        self._ensure_open()
+        value = (
+            self.machine.load(value_addr, value_len) if value_len else b""
+        )
+        seq = self._append(bytes(key), value, 0)
+        self.puts += 1
+        self._after_write()
+        return seq
+
+    @export
+    def get(self, key: bytes, buf_addr: int) -> int:
+        """Copy the latest value into the caller's buffer; -1 on miss."""
+        self._ensure_open()
+        self.gets += 1
+        entry = self._keydir.get(bytes(key))
+        if entry is None or entry.tombstone:
+            return -1
+        _, value = self._read_record(entry)
+        if value:
+            self.machine.store(buf_addr, value)
+        return len(value)
+
+    @export
+    def delete(self, key: bytes) -> int:
+        """Append a tombstone; returns 1 if the key existed."""
+        self._ensure_open()
+        key = bytes(key)
+        entry = self._keydir.get(key)
+        existed = int(entry is not None and not entry.tombstone)
+        self._append(key, b"", _TOMBSTONE)
+        self.deletes += 1
+        self._after_write()
+        return existed
+
+    @export
+    def sync(self) -> int:
+        """Force a flush barrier; returns the durable sequence number."""
+        self._ensure_open()
+        self._barrier()
+        return self._durable_seq
+
+    @export
+    def compact(self) -> dict:
+        """Merge live records, dropping superseded ones and tombstones."""
+        self._ensure_open()
+        return self._merge()
+
+    @export
+    def recover(self) -> dict:
+        """(Re)build state from the medium; returns a recovery report."""
+        self._open = False
+        return self._recover_state()
+
+    @export
+    def set_flush_policy(self, policy: str) -> str:
+        """``every-write`` or ``batch:N`` (flush every N mutations)."""
+        if policy == "every-write":
+            self._batch = 1
+        elif policy.startswith("batch:"):
+            try:
+                batch = int(policy.split(":", 1)[1])
+            except ValueError:
+                raise GateError(f"kv: bad flush policy {policy!r}") from None
+            if batch < 1:
+                raise GateError(f"kv: bad flush policy {policy!r}")
+            self._batch = batch
+        else:
+            raise GateError(f"kv: unknown flush policy {policy!r}")
+        self._flush_policy = policy
+        return policy
+
+    @export
+    def kv_keys(self) -> list[bytes]:
+        """All live (non-tombstoned) keys, sorted."""
+        self._ensure_open()
+        return sorted(
+            key
+            for key, entry in self._keydir.items()
+            if not entry.tombstone
+        )
+
+    @export
+    def kv_stats(self) -> dict:
+        """Operation counters + store geometry."""
+        return {
+            "puts": self.puts,
+            "gets": self.gets,
+            "deletes": self.deletes,
+            "compactions": self.compactions,
+            "recoveries": self.recoveries,
+            "torn_records_discarded": self.torn_discarded,
+            "hint_hits": self.hint_hits,
+            "hint_misses": self.hint_misses,
+            "live_keys": sum(
+                1 for entry in self._keydir.values() if not entry.tombstone
+            ),
+            "keydir_size": len(self._keydir),
+            "slots_used": len(self._slots),
+            "seq": self._seq,
+            "durable_seq": self._durable_seq,
+            "flush_policy": self._flush_policy,
+            "generation": self._gen,
+        }

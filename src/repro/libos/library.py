@@ -195,6 +195,14 @@ class Linker:
             raise GateError(f"no link from {caller.NAME!r} to {callee!r}")
         return Stub(channel)
 
+    def has_link(self, caller: MicroLibrary, callee: str) -> bool:
+        """True when ``caller`` was linked against ``callee``.
+
+        Lets a library degrade gracefully when an optional service is
+        absent from the image (e.g. redis runs volatile without ``kv``).
+        """
+        return (caller.NAME, callee) in self._channels
+
     def edges(self) -> Iterator[tuple[str, str]]:
         """Iterate over all (caller, callee) edges."""
         return iter(self._channels.keys())

@@ -98,6 +98,17 @@ class CostModel:
     #: Fixed cost per VFS operation (path resolution, inode lookup).
     fs_op_ns: float = 150.0
 
+    # --- block device -------------------------------------------------------
+    #: Fixed cost per block-device command (submit, doorbell, completion
+    #: handling for one sector in the write-back cache).
+    blk_op_ns: float = 600.0
+    #: Per-byte transfer cost to/from the device (NVMe-class streaming).
+    blk_byte_ns: float = 0.05
+    #: A flush barrier: drain the device write cache so the acknowledged
+    #: data is durable (charged once per ``blk_flush`` on top of the
+    #: per-sector writeback costs).
+    blk_flush_ns: float = 2_500.0
+
     # --- network stack -----------------------------------------------------
     #: Fixed per-packet processing (header parse/build, demux).
     pkt_fixed_ns: float = 160.0

@@ -46,6 +46,7 @@ __all__ = [
     "GateError",
     "BoundaryViolation",
     "InjectedFault",
+    "PowerFailure",
     "RPCTimeout",
     "CompartmentFailure",
     "CONTAINABLE_FAULTS",
@@ -168,6 +169,30 @@ class InjectedFault(MachineError):
     def __init__(self, site: str, detail: str = "") -> None:
         self.site = site
         message = f"injected fault at {site}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class PowerFailure(MachineError):
+    """Whole-machine power loss (crash) — deliberately NOT containable.
+
+    Unlike the per-compartment faults in ``CONTAINABLE_FAULTS``, a
+    power failure takes down the entire simulated host: no gate policy
+    can isolate it, so it propagates raw through gates and the
+    scheduler out to the campaign driver, which models the reboot
+    (rebuild the image against the surviving :class:`DiskMedium`
+    contents and re-run recovery).  The block layer decides *which*
+    unflushed writes survive — torn, dropped, or reordered —
+    deterministically from the campaign seed.
+
+    Attributes:
+        site: injection site that fired ("blk-torn-write", ...).
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        self.site = site
+        message = f"power failure at {site}"
         if detail:
             message = f"{message}: {detail}"
         super().__init__(message)

@@ -10,7 +10,10 @@ compartment misbehaves*.  This package makes that measurable:
 - :mod:`repro.resilience.injector` — the :class:`FaultInjector` the
   machine consults at each hook site;
 - :mod:`repro.resilience.campaign` — the campaign driver producing the
-  site × backend containment matrix.
+  site × backend containment matrix, plus *recovery campaigns* that
+  crash a durable redis deployment (power failures at the storage
+  sites) and verify that reboot + recovery restores every acknowledged
+  write with no torn record surfacing.
 """
 
 from repro.resilience.injector import FaultInjector, InjectionEvent, arm
@@ -22,10 +25,15 @@ from repro.resilience.plan import SITES, FaultSpec, InjectionPlan
 _CAMPAIGN_EXPORTS = (
     "DEFAULT_BACKENDS",
     "DEFAULT_SITES",
+    "DEFAULT_RECOVERY_SITES",
     "CampaignResult",
+    "RecoveryCampaignResult",
     "default_plan",
+    "default_recovery_plan",
     "run_campaign",
     "run_cell",
+    "run_recovery_campaign",
+    "run_recovery_cell",
 )
 
 
@@ -38,6 +46,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "DEFAULT_BACKENDS",
+    "DEFAULT_RECOVERY_SITES",
     "DEFAULT_SITES",
     "SITES",
     "CampaignResult",
@@ -45,8 +54,12 @@ __all__ = [
     "FaultSpec",
     "InjectionEvent",
     "InjectionPlan",
+    "RecoveryCampaignResult",
     "arm",
     "default_plan",
+    "default_recovery_plan",
     "run_campaign",
     "run_cell",
+    "run_recovery_campaign",
+    "run_recovery_cell",
 ]

@@ -20,11 +20,28 @@ fault did:
 Everything is a pure function of the seed and the simulated machine,
 so the same seed always yields the identical matrix.
 
-CLI (used by the CI smoke step)::
+**Recovery campaigns** (``--recovery``) run the durability variant:
+a redis server journaling SET/DEL through a gate into the storage
+compartment (``blk`` + ``kv``), power failures injected at the storage
+sites (``blk-torn-write``, ``crash-mid-compaction``,
+``crash-mid-recovery``), and a *recovery verdict* per cell:
+
+- ``recovered-state``  — after crash + reboot + recovery, every
+  acknowledged (flushed) write reads back exactly, and no torn record
+  surfaced (CRC framing discarded them);
+- ``lost-acked-write`` — an acknowledged write is missing after
+  recovery (the durability contract is broken);
+- ``torn-surfaced``    — recovery exposed garbage bytes (a torn record
+  escaped the CRC check) — the worst verdict;
+- ``not-triggered``    — the armed fault never fired.
+
+CLI (used by the CI smoke steps)::
 
     python -m repro.resilience.campaign --backends mpk-shared,vm-rpc \\
         --sites wild-write --schedules 1 --seed 7 \\
         --check-contained wild-write
+    python -m repro.resilience.campaign --recovery --schedules 2 \\
+        --seed 11 --check-recovered blk-torn-write
 """
 
 from __future__ import annotations
@@ -34,9 +51,11 @@ import dataclasses
 import json
 import sys
 
+import random
+
 from repro.core.builder import build_image
 from repro.core.config import BuildConfig
-from repro.machine.faults import MachineError
+from repro.machine.faults import MachineError, PowerFailure
 from repro.resilience.injector import FaultInjector, arm
 from repro.resilience.plan import InjectionPlan
 
@@ -296,6 +315,265 @@ def run_campaign(
     )
 
 
+# --- recovery campaigns (durability under power failure) --------------------
+
+#: Fault sites a recovery campaign arms by default.
+DEFAULT_RECOVERY_SITES = (
+    "blk-torn-write",
+    "crash-mid-compaction",
+    "crash-mid-recovery",
+)
+#: Severity order for aggregating recovery verdicts into a matrix cell.
+_RECOVERY_SEVERITY = {
+    "not-triggered": 0,
+    "recovered-state": 1,
+    "lost-acked-write": 2,
+    "torn-surfaced": 3,
+}
+
+#: Workload shape: redis journaling into an isolated storage compartment.
+_RECOVERY_LIBRARIES = ["libc", "netstack", "blk", "kv", "redis"]
+_RECOVERY_COMPARTMENTS = [
+    ["netstack"],
+    ["blk", "kv"],
+    ["sched", "alloc", "libc", "redis"],
+]
+
+
+def default_recovery_plan(site: str, seed: int) -> InjectionPlan:
+    """The canonical single-fault plan for one storage site."""
+    plan = InjectionPlan(seed=seed)
+    if site == "blk-torn-write":
+        return plan.torn_blk_flush(nth=4)
+    if site == "crash-mid-compaction":
+        # Exactly one compaction runs per cell, so the trigger cannot
+        # jitter past it.
+        return plan.crash_compaction(nth=1, jitter=0)
+    if site == "crash-mid-recovery":
+        # The first recovery event is the initial open of the empty
+        # store; crash the *post-power-cut* recovery scan instead.  A
+        # compacted log may hold a single segment — one recovery event
+        # per reboot — so the trigger cannot afford jitter.
+        return plan.crash_recovery(nth=2, jitter=0)
+    raise ValueError(f"unknown recovery fault site {site!r}")
+
+
+def _recovery_payloads(count: int) -> tuple[list[bytes], dict[bytes, bytes]]:
+    """Deterministic SET requests plus the key → value ground truth."""
+    requests: list[bytes] = []
+    values: dict[bytes, bytes] = {}
+    for index in range(count):
+        key = b"rk%04d" % index
+        value = (b"%04d" % (index % 10_000)) * 4
+        values[key] = value
+        requests.append(b"SET %s %d\n" % (key, len(value)) + value)
+    return requests, values
+
+
+def run_recovery_cell(
+    backend: str,
+    site: str,
+    plan: InjectionPlan,
+    sets: int = 40,
+    attempts: int = 3,
+) -> dict:
+    """One recovery cell: run durable redis, crash, reboot, verify.
+
+    The :class:`~repro.libos.blk.blkdev.DiskMedium` is the only state
+    that survives: each reboot builds a fresh image around the same
+    medium, re-attaches the same injector (its fire counters persist
+    across reboots, so ``crash-mid-recovery`` can hit the scan *after*
+    the crash), and replays recovery.
+    """
+    from repro.apps.workload import ClosedLoopSource, start_redis
+    from repro.libos.blk.blkdev import DiskMedium
+
+    medium = DiskMedium()
+    injector = FaultInjector(plan)
+    crash_rng = random.Random(plan.seed ^ 0x5EED)
+
+    def build():
+        config = BuildConfig(
+            libraries=list(_RECOVERY_LIBRARIES),
+            compartments=[list(group) for group in _RECOVERY_COMPARTMENTS],
+            backend=backend,
+            name=f"recovery:{backend}:{site}",
+        )
+        image = build_image(config)
+        image.lib("blk").attach_medium(medium)
+        injector.attach(image)
+        return image
+
+    def drop(image) -> None:
+        """Tear an image down without simulating work (power is off)."""
+        injector.detach()
+        try:
+            image.scheduler.kill_all()
+        except MachineError:  # pragma: no cover - teardown best effort
+            pass
+
+    requests, values = _recovery_payloads(sets)
+    failures: list[str] = []
+    image = build()
+    image.call("kv", "set_flush_policy", "every-write")
+    app = start_redis(image)
+    netstack = image.lib("netstack")
+    source = ClosedLoopSource(
+        app.PORT, requests, window=2, expect_prefix=b"+OK"
+    )
+    netstack.nic.rx_source = source.source
+    netstack.nic.tx_sink = source.sink
+    crashed = False
+    try:
+        image.run(
+            until=lambda: source.done,
+            max_switches=400 * len(requests) + 40_000,
+        )
+        if not source.done:
+            raise RuntimeError(
+                f"redis workload stalled: {source.responses}/{source.total}"
+            )
+        # One explicit compaction per cell — the crash-mid-compaction
+        # site's deterministic target.
+        image.call("kv", "compact")
+        image.call("kv", "sync")
+    except PowerFailure as exc:
+        failures.append(f"PowerFailure: {exc}")
+        # Power is off: the write-back cache dies with the image; only
+        # the medium (and whatever the injector tore onto it) remains.
+        medium.generation += 1
+        crashed = True
+    #: Every SET acknowledged before the lights went out.  Responses
+    #: are FIFO (closed loop), so the first N payloads were acked, and
+    #: under flush policy ``every-write`` each ack implies a completed
+    #: flush barrier.
+    acked = dict(list(values.items())[: source.responses])
+    drop(image)
+    if not crashed:
+        # The armed fault never cut power mid-run (e.g. the
+        # crash-mid-recovery site): pull the plug ourselves so every
+        # cell exercises reboot + recovery with a dirty cache.
+        image.lib("blk").crash(crash_rng)
+
+    recover_report = None
+    torn_surfaced = False
+    for _ in range(attempts):
+        image = build()
+        try:
+            recover_report = image.call("redis", "recover")
+            break
+        except PowerFailure as exc:
+            failures.append(f"PowerFailure: {exc}")
+            medium.generation += 1
+            drop(image)
+        except MachineError as exc:
+            # Anything other than a power cut during recovery means a
+            # corrupt record escaped the CRC framing.
+            failures.append(f"{type(exc).__name__}: {exc}")
+            torn_surfaced = True
+            drop(image)
+            break
+
+    lost: list[bytes] = []
+    torn: list[bytes] = []
+    kv_stats: dict = {}
+    if recover_report is not None:
+        app = image.lib("redis")
+        for key, value in values.items():
+            got = app.value_of(key)
+            if key in acked:
+                if got is None:
+                    lost.append(key)
+                elif got != value:
+                    torn.append(key)
+            elif got is not None and got != value:
+                # An unacked write may legally persist (prefix
+                # durability) — but only with the exact bytes sent.
+                torn.append(key)
+        kv_stats = image.call("kv", "kv_stats")
+        drop(image)
+
+    if torn_surfaced or torn:
+        verdict = "torn-surfaced"
+    elif recover_report is None or lost:
+        verdict = "lost-acked-write"
+    elif injector.fired == 0:
+        verdict = "not-triggered"
+    else:
+        verdict = "recovered-state"
+    return {
+        "backend": backend,
+        "site": site,
+        "seed": plan.seed,
+        "verdict": verdict,
+        "acked": len(acked),
+        "restored": (recover_report or {}).get("restored", 0),
+        "recover_report": recover_report,
+        "injected": injector.fired,
+        "events": [dataclasses.asdict(event) for event in injector.events],
+        "failures": failures,
+        "lost_keys": [key.decode() for key in lost],
+        "torn_keys": [key.decode() for key in torn],
+        "generations": medium.generation,
+        "torn_records_discarded": kv_stats.get("torn_records_discarded", 0),
+    }
+
+
+@dataclasses.dataclass
+class RecoveryCampaignResult:
+    """Everything one recovery campaign produced."""
+
+    seed: int
+    schedules: int
+    cells: list[dict]
+
+    def matrix(self) -> dict[str, dict[str, str]]:
+        """site → backend → worst verdict across schedules."""
+        table: dict[str, dict[str, str]] = {}
+        for cell in self.cells:
+            row = table.setdefault(cell["site"], {})
+            previous = row.get(cell["backend"])
+            if (
+                previous is None
+                or _RECOVERY_SEVERITY[cell["verdict"]]
+                > _RECOVERY_SEVERITY[previous]
+            ):
+                row[cell["backend"]] = cell["verdict"]
+        return table
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "schedules": self.schedules,
+            "matrix": self.matrix(),
+            "cells": self.cells,
+        }
+
+
+def run_recovery_campaign(
+    backends=DEFAULT_BACKENDS,
+    sites=DEFAULT_RECOVERY_SITES,
+    schedules: int = 2,
+    seed: int = 0,
+    sets: int = 40,
+) -> RecoveryCampaignResult:
+    """K seeded schedules per (storage site × backend)."""
+    cells = []
+    for site in sites:
+        base = default_recovery_plan(site, seed)
+        for schedule in base.schedules(schedules):
+            for backend in backends:
+                cells.append(
+                    run_recovery_cell(
+                        backend,
+                        site,
+                        InjectionPlan(schedule.seed, list(schedule.specs)),
+                        sets=sets,
+                    )
+                )
+    return RecoveryCampaignResult(seed=seed, schedules=schedules, cells=cells)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Run a seeded fault-injection campaign"
@@ -328,8 +606,69 @@ def main(argv=None) -> int:
         help="exit non-zero unless every selected backend contains or "
         "recovers SITE (CI assertion)",
     )
+    parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="run the storage recovery campaign (durability under "
+        "power failure) instead of the containment campaign",
+    )
+    parser.add_argument(
+        "--sets",
+        type=int,
+        default=40,
+        metavar="N",
+        help="durable SETs per recovery cell",
+    )
+    parser.add_argument(
+        "--check-recovered",
+        action="append",
+        default=[],
+        metavar="SITE",
+        help="exit non-zero unless every selected backend earns verdict "
+        "'recovered-state' (or 'not-triggered') for SITE (CI assertion)",
+    )
     args = parser.parse_args(argv)
     backends = tuple(b for b in args.backends.split(",") if b)
+    if args.recovery:
+        sites = (
+            tuple(s for s in args.sites.split(",") if s)
+            if args.sites != ",".join(DEFAULT_SITES)
+            else DEFAULT_RECOVERY_SITES
+        )
+        recovery = run_recovery_campaign(
+            backends=backends,
+            sites=sites,
+            schedules=args.schedules,
+            seed=args.seed,
+            sets=args.sets,
+        )
+        matrix = recovery.matrix()
+        for site, row in matrix.items():
+            for backend, verdict in row.items():
+                print(f"{site:20s} x {backend:13s} -> {verdict}")
+        if args.json:
+            payload = json.dumps(recovery.to_dict(), indent=2, sort_keys=True)
+            if args.json == "-":
+                print(payload)
+            else:
+                with open(args.json, "w") as handle:
+                    handle.write(payload + "\n")
+        failed = False
+        if not recovery.cells:
+            print("ERROR: campaign produced no cells", file=sys.stderr)
+            failed = True
+        for site in args.check_recovered:
+            row = matrix.get(site, {})
+            for backend in backends:
+                verdict = row.get(backend)
+                if verdict not in ("recovered-state", "not-triggered"):
+                    print(
+                        f"ERROR: {backend} lost durable state at {site} "
+                        f"(verdict: {verdict})",
+                        file=sys.stderr,
+                    )
+                    failed = True
+        return 1 if failed else 0
     sites = tuple(s for s in args.sites.split(",") if s)
     result = run_campaign(
         backends=backends,

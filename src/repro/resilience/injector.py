@@ -20,7 +20,9 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING
 
-from repro.machine.faults import InjectedFault, MachineError
+import random
+
+from repro.machine.faults import InjectedFault, MachineError, PowerFailure
 from repro.resilience.plan import FaultSpec, InjectionPlan
 
 if TYPE_CHECKING:
@@ -205,6 +207,48 @@ class FaultInjector:
             self._record("sched-kill", f"thread {thread.name}", "killed")
             return True
         return False
+
+    # --- hook: block-device flush ----------------------------------------
+
+    def on_blk_flush(self, blk, sector: int) -> None:
+        """Called per sector writeback inside ``blk_flush``.
+
+        When a ``blk-torn-write`` spec is due, the in-flight sector is
+        persisted *torn* (seed-derived prefix length) and the machine
+        loses power: a :class:`PowerFailure` unwinds raw through every
+        gate — durability faults are whole-machine by design, not
+        containable by a compartment boundary.
+        """
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != "blk-torn-write":
+                continue
+            if not self._due(index, spec):
+                continue
+            rng = random.Random((self.plan.seed << 16) ^ sector)
+            keep = blk.tear_on_medium(sector, rng)
+            detail = f"sector {sector} torn at byte {keep}"
+            self._record("blk-torn-write", detail, "raised")
+            raise PowerFailure("blk-torn-write", detail)
+
+    # --- hook: KV lifecycle phases ---------------------------------------
+
+    def on_kv_phase(self, kv, phase: str) -> None:
+        """Called at KV crash points (``compaction`` / ``recovery``).
+
+        The matching ``crash-mid-*`` spec drops power mid-phase.  The
+        store's own crash-consistency machinery (sector-aligned
+        barriers, dual manifests, epoch-checked hints) is what must
+        make the interrupted phase harmless.
+        """
+        site = f"crash-mid-{phase}"
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != site:
+                continue
+            if not self._due(index, spec):
+                continue
+            detail = f"kv {phase} (seq {kv._seq})"
+            self._record(site, detail, "raised")
+            raise PowerFailure(site, detail)
 
     # --- hook: VM notifications ------------------------------------------
 

@@ -16,6 +16,15 @@ site                    meaning
 ``sched-kill``          the Nth switch-in of a matching thread kills it
 ``vm-drop``             the Nth VM-RPC notification is lost in flight
 ``vm-dup``              the Nth VM-RPC notification is delivered twice
+``blk-torn-write``      power fails during the Nth flush writeback: the
+                        in-flight sector lands *torn* on the medium and a
+                        :class:`~repro.machine.faults.PowerFailure` unwinds
+                        out of the machine (uncontainable by design)
+``crash-mid-compaction``  power fails inside the Nth KV segment merge,
+                        after the new segments hit the disk but before the
+                        manifest commits
+``crash-mid-recovery``  power fails during the Nth KV recovery scan —
+                        crash-during-recovery must itself be recoverable
 ======================  ======================================================
 
 Plans are built fluently::
@@ -42,6 +51,9 @@ SITES = (
     "sched-kill",
     "vm-drop",
     "vm-dup",
+    "blk-torn-write",
+    "crash-mid-compaction",
+    "crash-mid-recovery",
 )
 
 #: Maximum jitter schedules() adds to a spec's ``nth``.
@@ -175,6 +187,26 @@ class InjectionPlan:
     def duplicate_vm_notify(self, nth: int = 1) -> "InjectionPlan":
         """Arm duplication of a VM-RPC notification."""
         return self.add(FaultSpec("vm-dup", nth=nth))
+
+    def torn_blk_flush(
+        self, nth: int = 1, jitter: int | None = None
+    ) -> "InjectionPlan":
+        """Arm a torn sector + power loss on the Nth flush writeback."""
+        return self.add(FaultSpec("blk-torn-write", nth=nth, jitter=jitter))
+
+    def crash_compaction(
+        self, nth: int = 1, jitter: int | None = None
+    ) -> "InjectionPlan":
+        """Arm a power loss mid-way through the Nth KV compaction."""
+        return self.add(
+            FaultSpec("crash-mid-compaction", nth=nth, jitter=jitter)
+        )
+
+    def crash_recovery(
+        self, nth: int = 1, jitter: int | None = None
+    ) -> "InjectionPlan":
+        """Arm a power loss during the Nth KV recovery scan."""
+        return self.add(FaultSpec("crash-mid-recovery", nth=nth, jitter=jitter))
 
     # --- seeded schedules -------------------------------------------------
 

@@ -16,7 +16,10 @@ caller→callee crossing matrix and the full metrics snapshot — so
 benchmarks and CI can diff reports instead of scraping text.
 ``--resilience`` additionally runs a seeded fault-injection campaign
 across all isolation backends and prints the site × backend
-containment matrix (see :mod:`repro.resilience`).
+containment matrix (see :mod:`repro.resilience`); ``--recovery`` does
+the same for the storage power-failure sites and prints the recovery
+verdict matrix (does a durable redis deployment lose acknowledged
+writes after crash + reboot?).
 """
 
 from __future__ import annotations
@@ -131,6 +134,29 @@ def collect_resilience(seed: int = 0, schedules: int = 1) -> dict:
     }
 
 
+def collect_recovery(seed: int = 0, schedules: int = 1) -> dict:
+    """Run a storage recovery campaign; summary for the report."""
+    from repro.resilience import run_recovery_campaign
+
+    result = run_recovery_campaign(schedules=schedules, seed=seed)
+    return {
+        "seed": result.seed,
+        "schedules": result.schedules,
+        "matrix": result.matrix(),
+        "cells": [
+            {
+                "site": cell["site"],
+                "backend": cell["backend"],
+                "verdict": cell["verdict"],
+                "acked": cell["acked"],
+                "restored": cell["restored"],
+                "torn_records_discarded": cell["torn_records_discarded"],
+            }
+            for cell in result.cells
+        ],
+    }
+
+
 def render_text(data: dict) -> str:
     """The human-readable report (the original format)."""
     lines = [
@@ -174,6 +200,17 @@ def render_text(data: dict) -> str:
             for backend, rate in resilience["containment_rate"].items()
         )
         lines.append(f"  containment rate: {rates}")
+
+    recovery = data.get("recovery")
+    if recovery:
+        lines += ["", "== Recovery verdicts (site x backend) =="]
+        backends = sorted(
+            {backend for row in recovery["matrix"].values() for backend in row}
+        )
+        lines.append("  " + " " * 22 + "".join(f"{b:>16s}" for b in backends))
+        for site, row in sorted(recovery["matrix"].items()):
+            cells = "".join(f"{row.get(b, '-'):>16s}" for b in backends)
+            lines.append(f"  {site:22s}{cells}")
 
     if data.get("trace_file"):
         lines += ["", f"trace written to {data['trace_file']}"]
@@ -238,6 +275,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--resilience-schedules", type=int, default=1, metavar="K"
     )
+    parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="also run a storage recovery campaign (power failures at "
+        "the blk/kv sites) and report the recovery verdict matrix",
+    )
     args = parser.parse_args(argv)
     if args.trace and not pathlib.Path(args.trace).resolve().parent.is_dir():
         # Fail before the run, not after: the simulation can take a
@@ -246,6 +289,10 @@ def main(argv: list[str] | None = None) -> int:
     data = collect(config_from_args(args), args.workload, args.trace)
     if args.resilience:
         data["resilience"] = collect_resilience(
+            seed=args.resilience_seed, schedules=args.resilience_schedules
+        )
+    if args.recovery:
+        data["recovery"] = collect_recovery(
             seed=args.resilience_seed, schedules=args.resilience_schedules
         )
     if args.json:

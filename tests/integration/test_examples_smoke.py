@@ -39,6 +39,13 @@ def test_custom_library_example():
     assert "caught: asan:" in out
 
 
+def test_durable_redis_example():
+    out = run_example("durable_redis.py")
+    assert "journaled 3 writes" in out
+    assert "every flushed write survived" in out
+    assert "verdict=recovered-state" in out
+
+
 def test_all_examples_exist_and_have_docstrings():
     expected = {
         "quickstart.py",

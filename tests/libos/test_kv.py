@@ -1,0 +1,259 @@
+"""Unit tests for the kv micro-library: bitcask log over blk."""
+
+import random
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.libos.blk.blkdev import DiskMedium
+from repro.libos.kv.store import MAX_VALUE, KVStoreLibrary
+from repro.machine.faults import GateError
+
+
+def make_image(medium=None, backend="none", policy=None):
+    img = build_image(
+        BuildConfig(
+            libraries=["libc", "blk", "kv"],
+            compartments=[["blk", "kv"], ["sched", "alloc", "libc"]],
+            backend=backend,
+        )
+    )
+    if medium is not None:
+        img.lib("blk").attach_medium(medium)
+    if policy is not None:
+        img.call("kv", "set_flush_policy", policy)
+    return img
+
+
+@pytest.fixture
+def medium():
+    return DiskMedium()
+
+
+@pytest.fixture
+def image(medium):
+    return make_image(medium)
+
+
+@pytest.fixture
+def buf(image):
+    return image.call("alloc", "malloc_shared", max(8192, MAX_VALUE))
+
+
+def put(image, buf, key, value):
+    space = image.compartments[0].address_space
+    image.machine.dma_write(space, buf, value)
+    return image.call("kv", "put", key, buf, len(value))
+
+
+def get(image, buf, key):
+    n = image.call("kv", "get", key, buf)
+    if n < 0:
+        return None
+    space = image.compartments[0].address_space
+    return image.machine.dma_read(space, buf, n)
+
+
+# --- basic operations --------------------------------------------------------
+
+
+def test_put_get_roundtrip(image, buf):
+    put(image, buf, b"alpha", b"value-1")
+    assert get(image, buf, b"alpha") == b"value-1"
+    assert get(image, buf, b"missing") is None
+
+
+def test_overwrite_returns_latest(image, buf):
+    put(image, buf, b"k", b"first")
+    put(image, buf, b"k", b"second-longer-value")
+    assert get(image, buf, b"k") == b"second-longer-value"
+    assert image.call("kv", "kv_keys") == [b"k"]
+
+
+def test_delete_tombstones(image, buf):
+    put(image, buf, b"gone", b"x")
+    assert image.call("kv", "delete", b"gone") == 1
+    assert get(image, buf, b"gone") is None
+    assert image.call("kv", "delete", b"gone") == 0
+    assert image.call("kv", "kv_keys") == []
+
+
+def test_empty_value_allowed(image, buf):
+    put(image, buf, b"empty", b"")
+    assert get(image, buf, b"empty") == b""
+
+
+def test_value_and_key_validation(image, buf):
+    with pytest.raises(GateError, match="value length"):
+        image.call("kv", "put", b"k", buf, MAX_VALUE + 1)
+    with pytest.raises(GateError, match="value length"):
+        image.call("kv", "put", b"k", buf, -1)
+    with pytest.raises(GateError, match="key"):
+        image.call("kv", "put", b"", buf, 1)
+
+
+def test_max_value_roundtrip(image, buf):
+    value = bytes(range(256)) * (MAX_VALUE // 256)
+    put(image, buf, b"big", value)
+    assert get(image, buf, b"big") == value
+
+
+def test_flush_policy_validation(image):
+    assert image.call("kv", "set_flush_policy", "batch:8") == "batch:8"
+    assert image.call("kv", "set_flush_policy", "every-write") == "every-write"
+    with pytest.raises(GateError):
+        image.call("kv", "set_flush_policy", "batch:zero")
+    with pytest.raises(GateError):
+        image.call("kv", "set_flush_policy", "lazy")
+
+
+def test_sync_advances_durable_seq(medium):
+    image = make_image(medium, policy="batch:1000")
+    buf = image.call("alloc", "malloc_shared", MAX_VALUE)
+    for index in range(5):
+        put(image, buf, b"k%d" % index, b"v%d" % index)
+    stats = image.call("kv", "kv_stats")
+    assert stats["durable_seq"] < stats["seq"]
+    durable = image.call("kv", "sync")
+    assert durable == stats["seq"]
+    assert image.call("kv", "kv_stats")["durable_seq"] == durable
+
+
+# --- durability across reboot ------------------------------------------------
+
+
+def test_reboot_recovers_flushed_state(medium):
+    image = make_image(medium, policy="every-write")
+    buf = image.call("alloc", "malloc_shared", MAX_VALUE)
+    expected = {}
+    for index in range(60):
+        key = b"key%03d" % (index % 20)
+        value = (b"V%03d" % index) * 10
+        put(image, buf, key, value)
+        expected[key] = value
+    image.call("kv", "delete", b"key005")
+    del expected[b"key005"]
+
+    img2 = make_image(medium)
+    buf2 = img2.call("alloc", "malloc_shared", MAX_VALUE)
+    report = img2.call("kv", "recover")
+    assert report["live_keys"] == len(expected)
+    assert report["torn_discarded"] == 0
+    for key, value in expected.items():
+        assert get(img2, buf2, key) == value
+    assert get(img2, buf2, b"key005") is None
+
+
+def test_recovery_uses_hints_for_sealed_segments(medium):
+    image = make_image(medium, policy="batch:16")
+    buf = image.call("alloc", "malloc_shared", MAX_VALUE)
+    # Enough records to seal several segments.
+    for index in range(200):
+        put(image, buf, b"h%03d" % (index % 40), (b"%03d" % index) * 30)
+    image.call("kv", "sync")
+    slots_used = image.call("kv", "kv_stats")["slots_used"]
+    assert slots_used > 1
+
+    img2 = make_image(medium)
+    img2.call("kv", "recover")
+    stats = img2.call("kv", "kv_stats")
+    assert stats["hint_hits"] >= slots_used - 1  # all sealed slots
+    assert stats["hint_misses"] == 0
+
+
+def test_compaction_reclaims_space_and_preserves_data(medium):
+    image = make_image(medium, policy="batch:32")
+    buf = image.call("alloc", "malloc_shared", MAX_VALUE)
+    expected = {}
+    for index in range(300):
+        key = b"c%02d" % (index % 25)
+        value = (b"%04d" % index) * 25
+        put(image, buf, key, value)
+        expected[key] = value
+    before = image.call("kv", "kv_stats")
+    report = image.call("kv", "compact")
+    after = image.call("kv", "kv_stats")
+    assert report["live_records"] == 25
+    assert report["slots_after"] <= report["slots_before"]
+    assert after["compactions"] == before["compactions"] + 1
+    for key, value in expected.items():
+        assert get(image, buf, key) == value
+
+    # Recovery time scales with live data, not log length: the
+    # compacted log recovers from far fewer records.
+    img2 = make_image(medium)
+    rec = img2.call("kv", "recover")
+    assert rec["records"] <= 2 * 25 + 2  # live set + manifest slack
+    buf2 = img2.call("alloc", "malloc_shared", MAX_VALUE)
+    for key, value in expected.items():
+        assert get(img2, buf2, key) == value
+
+
+def test_crash_preserves_acked_writes_and_discards_torn(medium):
+    image = make_image(medium, policy="every-write")
+    buf = image.call("alloc", "malloc_shared", MAX_VALUE)
+    acked = {}
+    for index in range(25):
+        key = b"a%02d" % index
+        value = b"durable-%04d" % index
+        put(image, buf, key, value)
+        acked[key] = value
+    # Unflushed junk that the crash may tear or drop.
+    image.call("kv", "set_flush_policy", "batch:1000")
+    for index in range(20):
+        put(image, buf, b"junk%02d" % index, b"J%04d" % index)
+    image.lib("blk").crash(random.Random(99))
+
+    img2 = make_image(medium)
+    buf2 = img2.call("alloc", "malloc_shared", MAX_VALUE)
+    img2.call("kv", "recover")
+    for key, value in acked.items():
+        assert get(img2, buf2, key) == value
+    # Whatever junk survived must be byte-exact, never torn garbage.
+    for key in img2.call("kv", "kv_keys"):
+        if key.startswith(b"junk"):
+            index = int(key[4:])
+            assert get(img2, buf2, key) == b"J%04d" % index
+
+
+def test_recovery_metrics_and_counters(medium):
+    image = make_image(medium, policy="every-write")
+    buf = image.call("alloc", "malloc_shared", MAX_VALUE)
+    for index in range(10):
+        put(image, buf, b"m%d" % index, b"v")
+    img2 = make_image(medium)
+    img2.call("kv", "recover")
+    counters = img2.machine.cpu.metrics.counters
+    assert counters.get("kv.recoveries", 0) >= 1
+    histogram = img2.machine.cpu.metrics.histogram("kv.recovery_ns")
+    assert histogram.count >= 1
+    assert counters.get("kv.appends", 0) == 0  # recovery replays, not appends
+    stats = img2.call("kv", "kv_stats")
+    assert stats["live_keys"] == 10
+
+
+def test_kv_across_mpk_boundary(medium):
+    """The storage compartment works behind real MPK gates."""
+    image = build_image(
+        BuildConfig(
+            libraries=["libc", "blk", "kv"],
+            compartments=[["blk", "kv"], ["sched", "alloc", "libc"]],
+            backend="mpk-shared",
+        )
+    )
+    image.lib("blk").attach_medium(medium)
+    buf = image.call("alloc", "malloc_shared", MAX_VALUE)
+    space = image.compartments[0].address_space
+    image.machine.dma_write(space, buf, b"across-pkeys")
+    image.call("kv", "put", b"mpk", buf, 12)
+    n = image.call("kv", "get", b"mpk", buf)
+    assert image.machine.dma_read(space, buf, n) == b"across-pkeys"
+
+
+def test_kv_spec_metadata_is_complete():
+    assert KVStoreLibrary.SPEC.strip()
+    assert "Requires" in KVStoreLibrary.SPEC
+    assert KVStoreLibrary.POINTER_PARAMS["put"] == (1,)
+    assert KVStoreLibrary.CAP_GRANTS["get"] == ((1, -MAX_VALUE),)
+    calls = KVStoreLibrary.TRUE_BEHAVIOR["calls"]
+    assert "blk::blk_flush" in calls and "alloc::malloc_shared" in calls

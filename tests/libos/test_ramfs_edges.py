@@ -1,0 +1,200 @@
+"""ramfs edge cases: EOF reads, sparse growth, unlink-while-open, stats."""
+
+import pytest
+
+from repro import BuildConfig, build_image
+from repro.libos.fs.ramfs import (
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+    SEEK_END,
+    SEEK_SET,
+)
+from repro.machine.faults import GateError
+
+
+@pytest.fixture
+def image():
+    return build_image(
+        BuildConfig(
+            libraries=["libc", "vfs"],
+            compartments=[["sched", "alloc", "libc", "vfs"]],
+            backend="none",
+        )
+    )
+
+
+@pytest.fixture
+def shared_buf(image):
+    return image.call("alloc", "malloc_shared", 16384)
+
+
+def put(image, addr, data):
+    space = image.compartments[0].address_space
+    image.machine.dma_write(space, addr, data)
+
+
+def get(image, addr, n):
+    space = image.compartments[0].address_space
+    return image.machine.dma_read(space, addr, n)
+
+
+# --- read past EOF -----------------------------------------------------------
+
+
+def test_read_past_eof_returns_zero(image, shared_buf):
+    fd = image.call("vfs", "open", "/f", O_RDWR | O_CREAT)
+    put(image, shared_buf, b"abc")
+    image.call("vfs", "write", fd, shared_buf, 3)
+    # Offset is now at EOF: further reads drain nothing.
+    assert image.call("vfs", "read", fd, shared_buf, 16) == 0
+    # Seeking way past EOF must also read 0, not raise.
+    image.call("vfs", "lseek", fd, 1000, SEEK_SET)
+    assert image.call("vfs", "read", fd, shared_buf, 16) == 0
+
+
+def test_short_read_at_eof(image, shared_buf):
+    fd = image.call("vfs", "open", "/f", O_RDWR | O_CREAT)
+    put(image, shared_buf, b"0123456789")
+    image.call("vfs", "write", fd, shared_buf, 10)
+    image.call("vfs", "lseek", fd, 6, SEEK_SET)
+    assert image.call("vfs", "read", fd, shared_buf, 64) == 4
+    assert get(image, shared_buf, 4) == b"6789"
+
+
+def test_read_empty_file(image, shared_buf):
+    fd = image.call("vfs", "open", "/empty", O_RDWR | O_CREAT)
+    assert image.call("vfs", "read", fd, shared_buf, 4096) == 0
+    assert image.call("vfs", "fstat", fd)["size"] == 0
+
+
+# --- sparse files (lseek past EOF + write) -----------------------------------
+
+
+def test_sparse_write_grows_file_and_zero_fills_hole(image, shared_buf):
+    fd = image.call("vfs", "open", "/sparse", O_RDWR | O_CREAT)
+    put(image, shared_buf, b"head")
+    image.call("vfs", "write", fd, shared_buf, 4)
+    # Leave a 6000-byte hole spanning a block boundary, then write.
+    image.call("vfs", "lseek", fd, 6004, SEEK_SET)
+    put(image, shared_buf, b"tail")
+    image.call("vfs", "write", fd, shared_buf, 4)
+    assert image.call("vfs", "fstat", fd)["size"] == 6008
+    image.call("vfs", "lseek", fd, 0, SEEK_SET)
+    put(image, shared_buf, b"\xff" * 6008)
+    assert image.call("vfs", "read", fd, shared_buf, 6008) == 6008
+    content = get(image, shared_buf, 6008)
+    assert content[:4] == b"head"
+    assert content[6004:] == b"tail"
+    # The hole reads as zeros — not recycled heap bytes.
+    assert content[4:6004] == b"\x00" * 6000
+
+
+def test_sparse_hole_zeroed_even_after_heap_churn(image, shared_buf):
+    # Dirty the heap so a lazily-allocated block would otherwise
+    # inherit non-zero bytes from a freed predecessor.
+    garbage = image.call("alloc", "malloc", 4096)
+    ctx = image.compartments[0].make_context()
+    image.machine.cpu.push_context(ctx)
+    try:
+        image.machine.fill(garbage, 0xAB, 4096)
+    finally:
+        image.machine.cpu.pop_context()
+    image.call("alloc", "free", garbage)
+
+    fd = image.call("vfs", "open", "/holes", O_RDWR | O_CREAT)
+    image.call("vfs", "lseek", fd, 2048, SEEK_SET)
+    put(image, shared_buf, b"x")
+    image.call("vfs", "write", fd, shared_buf, 1)
+    image.call("vfs", "lseek", fd, 0, SEEK_SET)
+    image.call("vfs", "read", fd, shared_buf, 2048)
+    assert get(image, shared_buf, 2048) == b"\x00" * 2048
+
+
+def test_seek_end_then_extend(image, shared_buf):
+    fd = image.call("vfs", "open", "/ext", O_RDWR | O_CREAT)
+    put(image, shared_buf, b"base")
+    image.call("vfs", "write", fd, shared_buf, 4)
+    assert image.call("vfs", "lseek", fd, 0, SEEK_END) == 4
+    put(image, shared_buf, b"+more")
+    image.call("vfs", "write", fd, shared_buf, 5)
+    assert image.call("vfs", "stat", "/ext")["size"] == 9
+
+
+# --- unlink-while-open -------------------------------------------------------
+
+
+def test_unlink_while_open_keeps_data_until_close(image, shared_buf):
+    fd = image.call("vfs", "open", "/orphan", O_RDWR | O_CREAT)
+    put(image, shared_buf, b"still here")
+    image.call("vfs", "write", fd, shared_buf, 10)
+    image.call("vfs", "unlink", "/orphan")
+    # The path is gone ...
+    with pytest.raises(GateError, match="no such file"):
+        image.call("vfs", "stat", "/orphan")
+    assert "/orphan" not in image.call("vfs", "listdir")
+    # ... but the open descriptor still reads and writes the file.
+    image.call("vfs", "lseek", fd, 0, SEEK_SET)
+    assert image.call("vfs", "read", fd, shared_buf, 64) == 10
+    assert get(image, shared_buf, 10) == b"still here"
+    put(image, shared_buf, b"APPENDED")
+    image.call("vfs", "write", fd, shared_buf, 8)
+    assert image.call("vfs", "fstat", fd)["size"] == 18
+    image.call("vfs", "close", fd)
+
+
+def test_unlink_while_open_frees_blocks_on_last_close(image, shared_buf):
+    before = image.compartments[0].allocator.bytes_in_use
+    fd1 = image.call("vfs", "open", "/o", O_RDWR | O_CREAT)
+    fd2 = image.call("vfs", "open", "/o", O_RDONLY)
+    put(image, shared_buf, b"z" * 5000)  # two blocks
+    image.call("vfs", "write", fd1, shared_buf, 5000)
+    image.call("vfs", "unlink", "/o")
+    assert image.compartments[0].allocator.bytes_in_use > before
+    image.call("vfs", "close", fd1)
+    # fd2 still holds the inode open.
+    assert image.call("vfs", "read", fd2, shared_buf, 4) == 4
+    image.call("vfs", "close", fd2)
+    assert image.compartments[0].allocator.bytes_in_use == before
+
+
+def test_recreate_after_unlink_while_open_is_a_new_file(image, shared_buf):
+    fd_old = image.call("vfs", "open", "/name", O_RDWR | O_CREAT)
+    put(image, shared_buf, b"old")
+    image.call("vfs", "write", fd_old, shared_buf, 3)
+    image.call("vfs", "unlink", "/name")
+    fd_new = image.call("vfs", "open", "/name", O_RDWR | O_CREAT)
+    put(image, shared_buf, b"new!")
+    image.call("vfs", "write", fd_new, shared_buf, 4)
+    # The old descriptor still sees the orphaned content.
+    image.call("vfs", "lseek", fd_old, 0, SEEK_SET)
+    image.call("vfs", "read", fd_old, shared_buf, 3)
+    assert get(image, shared_buf, 3) == b"old"
+    assert image.call("vfs", "stat", "/name")["size"] == 4
+
+
+# --- fs_stats accounting -----------------------------------------------------
+
+
+def test_fs_stats_accounting(image, shared_buf):
+    stats = image.call("vfs", "fs_stats")
+    assert stats == {"files": 0, "open_fds": 0, "reads": 0, "writes": 0}
+    fd = image.call("vfs", "open", "/acct", O_RDWR | O_CREAT)
+    put(image, shared_buf, b"data")
+    image.call("vfs", "write", fd, shared_buf, 4)
+    image.call("vfs", "write", fd, shared_buf, 4)
+    image.call("vfs", "lseek", fd, 0, SEEK_SET)
+    image.call("vfs", "read", fd, shared_buf, 8)
+    stats = image.call("vfs", "fs_stats")
+    assert stats["files"] == 1
+    assert stats["open_fds"] == 1
+    assert stats["writes"] == 2
+    assert stats["reads"] == 1
+    image.call("vfs", "close", fd)
+    image.call("vfs", "unlink", "/acct")
+    stats = image.call("vfs", "fs_stats")
+    assert stats["files"] == 0
+    assert stats["open_fds"] == 0
+    # Op counters are cumulative, not tied to live files.
+    assert stats["writes"] == 2 and stats["reads"] == 1

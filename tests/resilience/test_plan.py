@@ -13,6 +13,9 @@ def test_known_sites():
         "sched-kill",
         "vm-drop",
         "vm-dup",
+        "blk-torn-write",
+        "crash-mid-compaction",
+        "crash-mid-recovery",
     }
 
 
