@@ -1,0 +1,222 @@
+"""Profile-guided re-compartmentalization benchmark (the feedback loop).
+
+The paper's exploration ranks candidate deployments with a *static*
+estimate: call-graph edges are all equally hot and every SH technique
+costs its Table-1 weight regardless of where the workload burns time.
+This benchmark closes the loop the tentpole builds: capture a
+:class:`repro.obs.WorkloadProfile` from a live run, re-run the same
+exploration with :func:`repro.core.explorer.profiled_cost_fn` (measured
+crossing frequencies × per-backend crossing cost + measured-time-
+weighted SH overheads), and **measure both picks** by re-running the
+workload under ``repro.obs``.
+
+Headline (written to ``benchmarks/BENCH_profile.json``): on the iperf
+workload the static estimator picks DFI-hardening the netstack/libc
+compartment (DFI looks cheap at weight 2), but iperf's receive path is
+store-heavy, so measured DFI overhead exceeds the measured cost of the
+MPK crossings it avoids — the profile-guided pick (keep the split,
+skip the hardening) measures ~15% faster.  On redis both estimators
+agree (the DFI-hardened single compartment really is fastest), which
+is the other half of the contract: profile-guidance must never do
+*worse* than the static pick.  A third test pins the observability
+invariant the pipeline rests on: profiling a run changes no simulated
+result bit.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.apps import run_named_workload, workload_params
+from repro.core.builder import build_image, library_defs
+from repro.core.config import BuildConfig
+from repro.core.explorer import (
+    Explorer,
+    crossing_cost_fn,
+    profiled_cost_fn,
+    requirement_satisfied,
+)
+from repro.obs import capture_profile
+
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_profile.json"
+
+_BENCH_DATA: dict = {}
+
+
+def _write_bench_json() -> None:
+    serialisable = json.loads(json.dumps(_BENCH_DATA, default=repr))
+    BENCH_JSON.write_text(json.dumps(serialisable, indent=2, sort_keys=True))
+
+
+def _measure(deployment, libraries, workload, params, backend) -> dict:
+    """Re-run the profiled workload on a pick, under repro.obs."""
+    groups = deployment.compartments
+    config = BuildConfig(
+        libraries=libraries,
+        compartments=groups,
+        backend=backend if len(groups) > 1 else "none",
+        hardening={
+            lib: techniques
+            for lib, techniques in deployment.choices.items()
+            if techniques
+        },
+    )
+    image = build_image(config)
+    with capture_profile(image, workload, params) as capture:
+        _, numbers = run_named_workload(image, workload, params)
+    return {
+        "describe": deployment.describe(),
+        "elapsed_ns": capture.profile.elapsed_ns,
+        "workload_numbers": numbers,
+    }
+
+
+def _feedback_loop(
+    workload: str,
+    libraries: list[str],
+    requirements: list[str],
+    backend: str = "mpk-shared",
+) -> dict:
+    """Capture → explore twice (static / profiled) → measure both picks."""
+    params = workload_params(workload)
+
+    image = build_image(BuildConfig(libraries=libraries, backend=backend))
+    with capture_profile(image, workload, params) as capture:
+        run_named_workload(image, workload, params)
+    profile = capture.profile
+
+    defs = library_defs(BuildConfig(libraries=libraries))
+    explorer = Explorer(defs, alternatives=True)
+    static_fn = crossing_cost_fn(defs, backend=backend)
+    profiled_fn = profiled_cost_fn(profile, backend=backend)
+    static_pick = explorer.best_performance_meeting(
+        requirements, perf_fn=static_fn
+    )
+    profiled_pick = explorer.best_performance_meeting(
+        requirements, perf_fn=profiled_fn
+    )
+    assert static_pick is not None and profiled_pick is not None
+    for requirement in requirements:
+        assert requirement_satisfied(profiled_pick, requirement, defs)
+
+    static = _measure(static_pick, libraries, workload, params, backend)
+    static["estimated_cost"] = static_fn(static_pick)
+    if profiled_pick.key() == static_pick.key():
+        profiled = dict(static)
+    else:
+        profiled = _measure(
+            profiled_pick, libraries, workload, params, backend
+        )
+    profiled["estimated_cost_ns"] = profiled_fn(profiled_pick)
+    return {
+        "workload": workload,
+        "libraries": libraries,
+        "backend": backend,
+        "requirements": requirements,
+        "profile_hash": profile.profile_hash(),
+        "profile_crossings": profile.total_crossings,
+        "same_pick": profiled_pick.key() == static_pick.key(),
+        "static": static,
+        "profiled": profiled,
+        "measured_delta_ns": static["elapsed_ns"] - profiled["elapsed_ns"],
+    }
+
+
+def test_profile_guided_beats_static_on_iperf(report):
+    """The headline: measured feedback corrects a static mis-rank.
+
+    Static sees 6 boundary edges vs 5 SH weight units and hardens;
+    the profile prices the actual 477 crossings below DFI's measured
+    cost on 192 µs of store-heavy netstack time and keeps the split.
+    """
+    result = _feedback_loop(
+        "iperf",
+        ["libc", "netstack", "iperf"],
+        ["write-protected:iperf"],
+    )
+    _BENCH_DATA["iperf"] = result
+    _write_bench_json()
+    report.row(
+        "Profile-guided re-compartmentalization",
+        f"iperf: static pick [{result['static']['describe']}] "
+        f"{result['static']['elapsed_ns'] / 1e3:.1f} us -> profiled pick "
+        f"[{result['profiled']['describe']}] "
+        f"{result['profiled']['elapsed_ns'] / 1e3:.1f} us "
+        f"(measured delta {result['measured_delta_ns'] / 1e3:.1f} us)",
+    )
+    report.value("Profile-guided re-compartmentalization", "iperf", result)
+    assert not result["same_pick"], (
+        "the static estimator is expected to mis-rank DFI on iperf's "
+        "store-heavy path; if the picks converged the headline is gone"
+    )
+    assert (
+        result["profiled"]["elapsed_ns"] < result["static"]["elapsed_ns"]
+    ), "profile-guided pick must measure strictly faster on iperf"
+
+
+def test_profile_guided_matches_static_on_redis(report):
+    """Never-worse: on redis both estimators find the same optimum."""
+    result = _feedback_loop(
+        "redis",
+        ["libc", "netstack", "redis"],
+        ["write-protected:redis"],
+    )
+    _BENCH_DATA["redis"] = result
+    _write_bench_json()
+    report.row(
+        "Profile-guided re-compartmentalization",
+        f"redis: static pick [{result['static']['describe']}] "
+        f"{result['static']['elapsed_ns'] / 1e3:.1f} us, profiled pick "
+        f"[{result['profiled']['describe']}] "
+        f"{result['profiled']['elapsed_ns'] / 1e3:.1f} us "
+        f"(same_pick={result['same_pick']})",
+    )
+    report.value("Profile-guided re-compartmentalization", "redis", result)
+    assert (
+        result["profiled"]["elapsed_ns"] <= result["static"]["elapsed_ns"]
+    ), "profile-guided pick must never measure slower than the static pick"
+
+
+def test_profiling_is_free(report):
+    """Profiling a run must not change one simulated bit.
+
+    The whole pipeline rests on this: a profile captured from a
+    production-shaped run describes exactly the run that would have
+    happened without the profiler attached.
+    """
+    results = []
+    for profiled in (False, True):
+        image = build_image(
+            BuildConfig(
+                libraries=["libc", "netstack", "redis"], backend="mpk-shared"
+            )
+        )
+        if profiled:
+            with capture_profile(image, "redis") as capture:
+                summary, numbers = run_named_workload(image, "redis")
+            results.append(
+                (summary, numbers, image.machine.cpu.clock_ns)
+            )
+            profile = capture.profile
+        else:
+            summary, numbers = run_named_workload(image, "redis")
+            results.append(
+                (summary, numbers, image.machine.cpu.clock_ns)
+            )
+    assert results[0] == results[1], (
+        "profiling on vs off must produce bit-identical simulated results"
+    )
+    _BENCH_DATA["bit_identical"] = {
+        "workload": "redis",
+        "summary": results[0][0],
+        "final_clock_ns": results[0][2],
+        "identical": True,
+        "profile_hash": profile.profile_hash(),
+    }
+    _write_bench_json()
+    report.row(
+        "Profile-guided re-compartmentalization",
+        f"profiling on vs off: bit-identical redis run "
+        f"({results[0][0]}; final clock {results[0][2] / 1e3:.1f} us)",
+    )

@@ -9,6 +9,7 @@ from repro.apps.httpd import HttpdApp
 from repro.apps.iperf import IperfServerApp
 from repro.apps.rediserver import RedisServerApp
 from repro.apps.workload import (
+    WORKLOADS,
     ClosedLoopSource,
     IperfSource,
     make_get_payloads,
@@ -16,9 +17,11 @@ from repro.apps.workload import (
     populate_files,
     run_closed_loop,
     run_iperf,
+    run_named_workload,
     run_redis_phase,
     start_httpd,
     start_redis,
+    workload_params,
 )
 from repro.core.builder import register_library
 
@@ -32,12 +35,15 @@ __all__ = [
     "IperfServerApp",
     "IperfSource",
     "RedisServerApp",
+    "WORKLOADS",
     "make_get_payloads",
     "make_set_payloads",
     "populate_files",
     "run_closed_loop",
     "run_iperf",
+    "run_named_workload",
     "run_redis_phase",
     "start_httpd",
     "start_redis",
+    "workload_params",
 ]

@@ -15,7 +15,7 @@ and return :class:`~repro.perf.meter.BenchResult` values.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.libos.net.packet import MSS, build_packet, unpack_header
 from repro.perf.meter import BenchResult, Meter
@@ -271,6 +271,100 @@ def start_httpd(image: "Image", port: int | None = None):
     image.spawn("httpd-server", app.make_server(port), app)
     _wait_for_listener(image, bind_port)
     return app
+
+
+def _drive_iperf(image: "Image", params: dict) -> tuple[str, dict]:
+    result = run_iperf(image, params["buffer_size"], params["total_bytes"])
+    return (
+        f"iperf: {result.throughput_mbps:.0f} Mb/s simulated",
+        {
+            "name": "iperf",
+            "throughput_mbps": result.throughput_mbps,
+            "payload_bytes": result.payload_bytes,
+            "elapsed_ns": result.elapsed_ns,
+        },
+    )
+
+
+def _drive_redis(image: "Image", params: dict) -> tuple[str, dict]:
+    start_redis(image)
+    run_redis_phase(
+        image,
+        make_set_payloads(
+            params["sets"], params["value_size"], keyspace=params["keyspace"]
+        ),
+        window=params["window"],
+        expect_prefix=b"+OK",
+    )
+    result = run_redis_phase(
+        image,
+        make_get_payloads(params["gets"], params["keyspace"]),
+        window=params["window"],
+        expect_prefix=b"$",
+    )
+    p50 = result.latency_percentile(0.5)
+    p99 = result.latency_percentile(0.99)
+    return (
+        f"redis: {result.mreq_s:.3f} Mreq/s, p50 {p50:.0f} ns, "
+        f"p99 {p99:.0f} ns",
+        {
+            "name": "redis",
+            "mreq_s": result.mreq_s,
+            "requests": result.requests,
+            "elapsed_ns": result.elapsed_ns,
+            "p50_ns": p50,
+            "p99_ns": p99,
+        },
+    )
+
+
+#: Named workload drivers: name → (default parameters, driver).  The
+#: single registry behind ``tools/report.py``, ``tools/profile.py``,
+#: and the profile benchmarks, so a profile captured by one tool
+#: describes exactly the run another tool will repeat.
+WORKLOADS: dict[str, tuple[dict, Callable[["Image", dict], tuple[str, dict]]]] = {
+    "iperf": ({"buffer_size": 1024, "total_bytes": 1 << 18}, _drive_iperf),
+    "redis": (
+        {"sets": 64, "value_size": 50, "keyspace": 32, "gets": 300, "window": 8},
+        _drive_redis,
+    ),
+}
+
+
+def workload_params(name: str, overrides: dict | None = None) -> dict:
+    """The named workload's full parameter dict, overrides applied."""
+    if name not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        )
+    params = dict(WORKLOADS[name][0])
+    for key, value in (overrides or {}).items():
+        if key not in params:
+            raise ValueError(
+                f"workload {name!r} has no parameter {key!r}; "
+                f"known: {sorted(params)}"
+            )
+        params[key] = value
+    return params
+
+
+def run_named_workload(
+    image: "Image", name: str, params: dict | None = None
+) -> tuple[str, dict]:
+    """Drive the named workload; returns (one-line summary, numbers).
+
+    ``params`` overrides the registered defaults (unknown keys are
+    rejected).  Deterministic: the same image + name + params always
+    produce the same simulated numbers.
+    """
+    defaults, driver = (
+        WORKLOADS[name] if name in WORKLOADS else (None, None)
+    )
+    if driver is None:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        )
+    return driver(image, workload_params(name, params))
 
 
 def populate_files(image: "Image", files: dict[str, bytes]) -> None:

@@ -75,6 +75,7 @@ def simulated_perf_fn(
     backend: str = "mpk-shared",
     scale: int = 1,
     cache_path: str | None = None,
+    estimator: str = "measured",
     **config_overrides,
 ) -> Callable[["Deployment"], float]:
     """A ``perf_fn`` for :class:`repro.core.explorer.Explorer`.
@@ -96,6 +97,12 @@ def simulated_perf_fn(
     - ``perf_cache`` — the backing :class:`PerfCache`;
     - ``measure_many(deployments, workers=None)`` — pre-measure a
       batch in parallel (see :func:`measure_many`).
+
+    ``estimator`` names the cost model in persistent-cache keys
+    (default ``"measured"`` — these really are measured runs); override
+    only when persisting scores produced by a *different* model through
+    the same cache, so they can never collide (see
+    :func:`repro.core.perfcache.candidate_key`).
     """
     if workload not in ("iperf", "redis"):
         raise ValueError(f"unknown workload {workload!r}")
@@ -144,7 +151,8 @@ def simulated_perf_fn(
             exploration_metrics().inc("explore.measure.memo_hits")
             return memo[key]
         persistent_key = candidate_key(
-            deployment, workload, backend, scale, config_overrides
+            deployment, workload, backend, scale, config_overrides,
+            estimator=estimator,
         )
         cost = perf_cache.get(persistent_key)
         if cost is None:

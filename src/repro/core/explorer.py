@@ -19,7 +19,7 @@ this).
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.core.coloring import ColoringCache
 from repro.core.errors import CompatibilityError
@@ -30,6 +30,9 @@ from repro.core.hardening import (
     sh_variants,
 )
 from repro.obs.metrics import exploration_metrics
+
+if TYPE_CHECKING:
+    from repro.obs.profile import WorkloadProfile
 
 #: Relative runtime weight of each SH technique (used by the analytic
 #: estimator; roughly proportional to the measured Table-1 overheads).
@@ -112,6 +115,98 @@ def crossing_cost_fn(
         )
         return crossing_weight * crossings + sh_weight * sh_cost
 
+    return cost
+
+
+#: Fraction of a library's measured CPU time each SH technique is
+#: assumed to add at runtime, derived from the simulator's
+#: :class:`repro.machine.cycles.CostModel` factors (ASAN multiplies
+#: memory-op cost by 4.4 and memory ops are roughly a third of library
+#: time → ~+70%; DFI scales only stores by 2.1 → ~+10%; CFI is a flat
+#: few ns per cross-library call → ~+2%).  Finer-grained than
+#: :data:`SH_WEIGHTS` (whose asan:dfi ratio of 1.5 is an order of
+#: magnitude off the measured ratio) because the profiled estimator is
+#: judged in measured nanoseconds, not unit-free ranks.
+SH_TIME_FRACTIONS = {
+    "asan": 0.70,
+    "kasan": 0.70,
+    "mte": 0.08,
+    "dfi": 0.10,
+    "ubsan": 0.12,
+    "cfi": 0.02,
+    "stackprotector": 0.01,
+    "safestack": 0.01,
+}
+#: Fallback fraction for techniques absent from the table.
+SH_TIME_FRACTION_DEFAULT = 0.10
+
+
+def profiled_cost_fn(
+    profile: "WorkloadProfile",
+    backend: str | None = None,
+    crossing_weight: float = 1.0,
+    sh_weight: float = 1.0,
+) -> Callable[[Deployment], float]:
+    """Measured-workload cost estimator: profile in, ``perf_fn`` out.
+
+    Replaces :func:`estimate_crossing_cost`'s static call-graph edge
+    count with what the workload actually did: each measured
+    caller→callee crossing that lands on a compartment boundary in the
+    candidate coloring is charged the backend's per-crossing cost
+    (:func:`repro.gates.registry.relative_crossing_cost`, round-trip
+    ns), and SH techniques are charged a fraction of their library's
+    *measured* CPU time (:data:`SH_TIME_FRACTIONS`) — hardening a hot
+    library costs more than hardening an idle one.  The
+    result is an estimate of the isolation + hardening overhead, in
+    simulated nanoseconds, this deployment would add to the profiled
+    window, so candidate rankings follow measured frequencies instead
+    of static edge counts.
+
+    ``backend`` defaults to the profile's own backend.  Measured edges
+    naming libraries absent from a candidate's coloring contribute
+    nothing (they cannot cross a boundary that no longer exists).
+
+    The returned callable carries ``profile_hash`` and ``estimator``
+    attributes so caching layers can key scores by estimator identity
+    (see :func:`repro.core.perfcache.candidate_key`).
+    """
+    from repro.gates.registry import relative_crossing_cost
+
+    effective_backend = backend if backend is not None else profile.backend
+    crossing_ns = relative_crossing_cost(effective_backend)
+    pairs = [
+        ((caller, callee), count)
+        for caller, callee, count in profile.edge_items()
+    ]
+    lib_time = profile.lib_cpu_time_ns()
+
+    def cost(deployment: Deployment) -> float:
+        coloring = deployment.coloring
+        boundary_crossings = 0
+        for (caller, callee), count in pairs:
+            caller_color = coloring.get(caller)
+            callee_color = coloring.get(callee)
+            if (
+                caller_color is not None
+                and callee_color is not None
+                and caller_color != callee_color
+            ):
+                boundary_crossings += count
+        sh_ns = sum(
+            lib_time.get(name, 0.0)
+            * sum(
+                SH_TIME_FRACTIONS.get(technique, SH_TIME_FRACTION_DEFAULT)
+                for technique in techniques
+            )
+            for name, techniques in deployment.choices.items()
+        )
+        return (
+            crossing_weight * boundary_crossings * crossing_ns
+            + sh_weight * sh_ns
+        )
+
+    cost.profile_hash = profile.profile_hash()
+    cost.estimator = f"profiled:{cost.profile_hash}:{effective_backend}"
     return cost
 
 

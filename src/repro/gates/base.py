@@ -111,7 +111,8 @@ class Gate(CallChannelProtocol):
         self.callee_lib = callee_lib
         self.options = options if options is not None else GateOptions()
         self.crossings = 0
-        self._edge = machine.cpu.metrics.edge(
+        self._metrics = machine.cpu.metrics
+        self._edge = self._metrics.edge(
             caller_lib.NAME, callee_lib.NAME, self.KIND
         )
         self._tracer = machine.obs.tracer
@@ -153,6 +154,25 @@ class Gate(CallChannelProtocol):
             cpu.bump("gate_crossings")
         if self.EXTRA_COUNTER:
             cpu.bump(self.EXTRA_COUNTER)
+
+    def _latency_start(self) -> float | None:
+        """Simulated start time of a crossing, when profiling wants it.
+
+        Only boundary crossings are worth a latency sample, and only
+        when a profiling session flipped ``record_edge_latency`` on —
+        reading the clock charges nothing, so recording is invisible to
+        the simulation either way.
+        """
+        if self.IS_BOUNDARY and self._metrics.record_edge_latency:
+            return self.machine.cpu.clock_ns
+        return None
+
+    def _latency_end(self, started: float | None) -> None:
+        """Record one crossing's simulated round-trip duration."""
+        if started is not None:
+            self._metrics.edge_latency(
+                self.caller_lib.NAME, self.callee_lib.NAME
+            ).observe(self.machine.cpu.clock_ns - started)
 
     def _trace_begin(self, fn: str) -> int | None:
         """Open a crossing span; returns its track id, or None.
@@ -247,6 +267,7 @@ class Gate(CallChannelProtocol):
         self._caller_side(fn)
         self._check_available()
         self._record_crossing()
+        started = self._latency_start()
         traced = self._trace_begin(fn)
         self._enter(fn, args)
         try:
@@ -259,6 +280,7 @@ class Gate(CallChannelProtocol):
             raise failure from exc
         finally:
             self._exit()
+            self._latency_end(started)
             if traced is not None:
                 self._tracer.end()
 
@@ -267,6 +289,7 @@ class Gate(CallChannelProtocol):
         self._caller_side(fn)
         self._check_available()
         self._record_crossing()
+        started = self._latency_start()
         traced = self._trace_begin(fn)
         self._enter(fn, args)
         try:
@@ -296,6 +319,10 @@ class Gate(CallChannelProtocol):
                 self._tracer.end()
             raise
         self._exit()
+        # Blocking crossings include time spent suspended inside the
+        # callee; only completed crossings are sampled (a thread
+        # destroyed mid-call or an unwinding fault records nothing).
+        self._latency_end(started)
         if traced is not None:
             self._tracer.end()
         return result

@@ -36,6 +36,12 @@ from repro.obs.metrics import (
     MetricsRegistry,
     exploration_metrics,
 )
+from repro.obs.profile import (
+    ProfileCapture,
+    ProfileError,
+    WorkloadProfile,
+    capture_profile,
+)
 from repro.obs.tracer import HOST_TRACK, SCHED_TRACK, Tracer
 
 __all__ = [
@@ -45,8 +51,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "ProfileCapture",
+    "ProfileError",
     "SCHED_TRACK",
     "Tracer",
+    "WorkloadProfile",
+    "capture_profile",
     "chrome_trace",
     "exploration_metrics",
     "metrics_json",

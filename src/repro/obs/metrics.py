@@ -103,6 +103,13 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._edges: dict[tuple[str, str, str], EdgeStats] = {}
+        #: When set, boundary gates record each crossing's simulated
+        #: duration into the per-edge latency histogram (see
+        #: :meth:`edge_latency`).  Off by default: the observations are
+        #: host-side only (never charge the clock), but appending one
+        #: float per crossing is not free host time, so only profiling
+        #: sessions (:mod:`repro.obs.profile`) pay for it.
+        self.record_edge_latency = False
 
     # --- counters ----------------------------------------------------------
 
@@ -138,8 +145,34 @@ class MetricsRegistry:
             edge = self._edges[key] = EdgeStats(caller, callee, kind)
         return edge
 
+    def edge_counts(self) -> dict[tuple[str, str, str], int]:
+        """Raw crossing counts keyed by (caller, callee, kind).
+
+        Includes zero-crossing edges (every registered channel), so a
+        profiling session can snapshot a baseline and compute exact
+        deltas even for edges that were already hot before it started.
+        """
+        return {key: edge.crossings for key, edge in self._edges.items()}
+
+    def edge_latency(self, caller: str, callee: str) -> Histogram:
+        """Per-edge crossing-latency histogram (simulated ns).
+
+        Lives in the ordinary histogram table under
+        ``gate.latency_ns:caller->callee`` so snapshots and profile
+        artifacts pick it up without extra plumbing.  All channel kinds
+        on the edge share one histogram — matching
+        :meth:`crossing_matrix`'s caller→callee granularity.
+        """
+        return self.histogram(f"gate.latency_ns:{caller}->{callee}")
+
     def edges_report(self) -> list[dict]:
-        """Used edges as dict rows, busiest first."""
+        """Used edges as dict rows, busiest first.
+
+        Fully deterministic: ties on the crossing count break by
+        (caller, callee, kind), never by registration order, so two
+        runs of the same workload emit byte-identical reports and
+        profile JSONs diff cleanly.
+        """
         rows = [
             {
                 "caller": edge.caller,
@@ -150,17 +183,32 @@ class MetricsRegistry:
             for edge in self._edges.values()
             if edge.crossings
         ]
-        rows.sort(key=lambda row: -row["crossings"])
+        rows.sort(
+            key=lambda row: (
+                -row["crossings"],
+                row["caller"],
+                row["callee"],
+                row["kind"],
+            )
+        )
         return rows
 
     def crossing_matrix(self) -> dict[str, dict[str, int]]:
-        """caller → callee → crossings (all channel kinds summed)."""
-        matrix: dict[str, dict[str, int]] = {}
+        """caller → callee → crossings (all channel kinds summed).
+
+        Rows and columns are emitted in sorted order, so the matrix —
+        and anything serialised from it — is stable across runs
+        regardless of channel registration order.
+        """
+        totals: dict[tuple[str, str], int] = {}
         for edge in self._edges.values():
             if not edge.crossings:
                 continue
-            row = matrix.setdefault(edge.caller, {})
-            row[edge.callee] = row.get(edge.callee, 0) + edge.crossings
+            key = (edge.caller, edge.callee)
+            totals[key] = totals.get(key, 0) + edge.crossings
+        matrix: dict[str, dict[str, int]] = {}
+        for caller, callee in sorted(totals):
+            matrix.setdefault(caller, {})[callee] = totals[(caller, callee)]
         return matrix
 
     # --- export / lifecycle -----------------------------------------------

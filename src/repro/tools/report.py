@@ -14,6 +14,9 @@ JSON of the run (open it in ``chrome://tracing`` or Perfetto);
 ``--json`` emits the whole report machine-readable — including the
 caller→callee crossing matrix and the full metrics snapshot — so
 benchmarks and CI can diff reports instead of scraping text.
+``--profile FILE`` captures a schema-versioned
+:class:`repro.obs.WorkloadProfile` of the run — the measured artifact
+``tools/profile.py recommend`` feeds back into the explorer.
 ``--resilience`` additionally runs a seeded fault-injection campaign
 across all isolation backends and prints the site × backend
 containment matrix (see :mod:`repro.resilience`); ``--recovery`` does
@@ -34,64 +37,44 @@ from repro.obs import exploration_metrics, write_chrome_trace
 
 
 def run_workload(image, workload: str) -> tuple[str, dict]:
-    """Drive the named workload; returns (one-line summary, raw numbers)."""
-    if workload == "iperf":
-        from repro.apps import run_iperf
+    """Drive the named workload; returns (one-line summary, raw numbers).
 
-        result = run_iperf(image, 1024, 1 << 18)
-        return (
-            f"iperf: {result.throughput_mbps:.0f} Mb/s simulated",
-            {
-                "name": "iperf",
-                "throughput_mbps": result.throughput_mbps,
-                "payload_bytes": result.payload_bytes,
-                "elapsed_ns": result.elapsed_ns,
-            },
-        )
-    if workload == "redis":
-        from repro.apps import (
-            make_get_payloads,
-            make_set_payloads,
-            run_redis_phase,
-            start_redis,
-        )
+    Thin wrapper over :func:`repro.apps.run_named_workload` (the single
+    workload registry shared with ``tools/profile.py``).
+    """
+    from repro.apps import run_named_workload
 
-        start_redis(image)
-        run_redis_phase(
-            image,
-            make_set_payloads(64, 50, keyspace=32),
-            window=8,
-            expect_prefix=b"+OK",
-        )
-        result = run_redis_phase(
-            image, make_get_payloads(300, 32), window=8, expect_prefix=b"$"
-        )
-        p50 = result.latency_percentile(0.5)
-        p99 = result.latency_percentile(0.99)
-        return (
-            f"redis: {result.mreq_s:.3f} Mreq/s, p50 {p50:.0f} ns, "
-            f"p99 {p99:.0f} ns",
-            {
-                "name": "redis",
-                "mreq_s": result.mreq_s,
-                "requests": result.requests,
-                "elapsed_ns": result.elapsed_ns,
-                "p50_ns": p50,
-                "p99_ns": p99,
-            },
-        )
-    raise ValueError(f"unknown workload {workload!r}")
+    return run_named_workload(image, workload)
 
 
 def collect(
-    config: BuildConfig, workload: str, trace_path: str | None = None
+    config: BuildConfig,
+    workload: str,
+    trace_path: str | None = None,
+    profile_path: str | None = None,
 ) -> dict:
-    """Build, run, and gather the full report as structured data."""
+    """Build, run, and gather the full report as structured data.
+
+    ``profile_path`` additionally captures a
+    :class:`repro.obs.WorkloadProfile` of the run (crossing deltas,
+    gate latencies, cpu/alloc shares) and persists it there — the
+    artifact ``tools/profile.py recommend`` feeds back into the
+    explorer.
+    """
     image = build_image(config)
     image.machine.cpu.attribute_time = True
     if trace_path:
         image.enable_tracing()
-    summary, numbers = run_workload(image, workload)
+    if profile_path:
+        from repro.obs import capture_profile
+
+        with capture_profile(image, workload) as capture:
+            summary, numbers = run_workload(image, workload)
+        profile = capture.profile
+        profile.save(profile_path)
+    else:
+        profile = None
+        summary, numbers = run_workload(image, workload)
     if trace_path:
         write_chrome_trace(image.machine.obs.tracer, trace_path)
     return {
@@ -111,6 +94,8 @@ def collect(
         # key is always present so CI can diff report shapes.
         "exploration": exploration_metrics().snapshot(),
         "trace_file": str(trace_path) if trace_path else None,
+        "profile_file": str(profile_path) if profile_path else None,
+        "profile_hash": profile.profile_hash() if profile else None,
     }
 
 
@@ -214,6 +199,12 @@ def render_text(data: dict) -> str:
 
     if data.get("trace_file"):
         lines += ["", f"trace written to {data['trace_file']}"]
+    if data.get("profile_file"):
+        lines += [
+            "",
+            f"profile {data['profile_hash']} written to "
+            f"{data['profile_file']}",
+        ]
     return "\n".join(lines)
 
 
@@ -222,6 +213,13 @@ def report(
 ) -> str:
     """Build, run, and render the full text report."""
     return render_text(collect(config, workload, trace_path))
+
+
+def _check_output_dir(parser, flag: str, path: str | None) -> None:
+    """Fail before the run, not after: the simulation can take a while
+    and the artifact would be lost."""
+    if path and not pathlib.Path(path).resolve().parent.is_dir():
+        parser.error(f"{flag}: directory of {path!r} does not exist")
 
 
 def config_from_args(args) -> BuildConfig:
@@ -259,6 +257,13 @@ def main(argv: list[str] | None = None) -> int:
         help="record a Chrome trace-event JSON of the run to FILE",
     )
     parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="capture a WorkloadProfile of the run (measured crossing "
+        "counts, gate latencies, cpu/alloc shares) to FILE — the "
+        "artifact tools/profile.py feeds back into the explorer",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the report as machine-readable JSON instead of text",
@@ -282,11 +287,11 @@ def main(argv: list[str] | None = None) -> int:
         "the blk/kv sites) and report the recovery verdict matrix",
     )
     args = parser.parse_args(argv)
-    if args.trace and not pathlib.Path(args.trace).resolve().parent.is_dir():
-        # Fail before the run, not after: the simulation can take a
-        # while and the trace would be lost.
-        parser.error(f"--trace: directory of {args.trace!r} does not exist")
-    data = collect(config_from_args(args), args.workload, args.trace)
+    _check_output_dir(parser, "--trace", args.trace)
+    _check_output_dir(parser, "--profile", args.profile)
+    data = collect(
+        config_from_args(args), args.workload, args.trace, args.profile
+    )
     if args.resilience:
         data["resilience"] = collect_resilience(
             seed=args.resilience_seed, schedules=args.resilience_schedules

@@ -65,6 +65,48 @@ def test_crossing_matrix_sums_kinds():
     assert metrics.crossing_matrix() == {"a": {"b": 7, "c": 1}}
 
 
+def test_edges_report_order_is_deterministic():
+    """Same edge totals → same report, whatever the insertion order.
+
+    Profiles hash their edge list, so ties must break on (caller,
+    callee, kind), not on registration history."""
+
+    def build(order):
+        metrics = MetricsRegistry()
+        for caller, callee, kind, count in order:
+            metrics.edge(caller, callee, kind).crossings = count
+        return metrics
+
+    rows = [
+        ("z", "a", "funccall", 5),
+        ("a", "z", "funccall", 5),
+        ("a", "b", "mpk-shared", 5),
+        ("a", "b", "funccall", 5),
+        ("m", "n", "funccall", 9),
+    ]
+    forward = build(rows).edges_report()
+    backward = build(list(reversed(rows))).edges_report()
+    assert forward == backward
+    assert [r["crossings"] for r in forward] == [9, 5, 5, 5, 5]
+    # Ties sorted by caller, then callee, then kind.
+    assert [(r["caller"], r["callee"], r["kind"]) for r in forward[1:]] == [
+        ("a", "b", "funccall"),
+        ("a", "b", "mpk-shared"),
+        ("a", "z", "funccall"),
+        ("z", "a", "funccall"),
+    ]
+
+
+def test_crossing_matrix_order_is_deterministic():
+    metrics = MetricsRegistry()
+    metrics.edge("z", "y", "funccall").crossings = 1
+    metrics.edge("a", "b", "funccall").crossings = 2
+    metrics.edge("a", "a2", "funccall").crossings = 3
+    matrix = metrics.crossing_matrix()
+    assert list(matrix) == ["a", "z"]
+    assert list(matrix["a"]) == ["a2", "b"]
+
+
 def test_snapshot_is_json_ready_and_reset_zeroes():
     import json
 
