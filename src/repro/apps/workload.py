@@ -35,13 +35,20 @@ class IperfSource:
         self.chunk = chunk
         self.remaining = total_bytes
         self._seq = 0
+        #: Payload bytes per size, built once: all but the final packet
+        #: of a run share one size, so the fill pattern is reused
+        #: instead of re-materialised per packet.
+        self._payloads: dict[int, bytes] = {}
 
     def __call__(self) -> bytes | None:
         if self.remaining <= 0:
             return None
         size = min(self.chunk, self.remaining)
         self.remaining -= size
-        packet = build_packet(self.port, b"\x55" * size, seq=self._seq)
+        payload = self._payloads.get(size)
+        if payload is None:
+            payload = self._payloads[size] = b"\x55" * size
+        packet = build_packet(self.port, payload, seq=self._seq)
         self._seq += size
         return packet
 

@@ -86,11 +86,16 @@ class _KeyDirEntry:
         return bool(self.flags & _TOMBSTONE)
 
 
+#: Record body header (the :data:`_HDR` layout minus the leading crc32)
+#: and the crc32 prefix itself, precompiled — ``_encode_record`` runs
+#: once per put/delete/pad on the data path.
+_HDR_BODY = struct.Struct(">QHIB")
+_CRC = struct.Struct(">I")
+
+
 def _encode_record(key: bytes, value: bytes, seq: int, flags: int) -> bytes:
-    body = (
-        struct.pack(">QHIB", seq, len(key), len(value), flags) + key + value
-    )
-    return struct.pack(">I", zlib.crc32(body)) + body
+    body = _HDR_BODY.pack(seq, len(key), len(value), flags) + key + value
+    return _CRC.pack(zlib.crc32(body)) + body
 
 
 class KVStoreLibrary(MicroLibrary):
@@ -156,7 +161,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
         self._seq = 0
         self._durable_seq = 0
         self._append_offset = 0
-        self._tail = b""  # bytes of the active slot's partial sector
+        self._tail = bytearray()  # active slot's partial sector (in-place)
         self._flush_policy = "every-write"
         self._batch = 1
         self._unflushed = 0
@@ -263,7 +268,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
         self._slot_records.clear()
         self._seq = 0
         self._append_offset = 0
-        self._tail = b""
+        self._tail = bytearray()
         torn = 0
         records = 0
         manifest = self._load_manifest()
@@ -300,9 +305,9 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
                 self._append_offset = end_offset
                 partial = end_offset % SECTOR_SIZE
                 if partial:
-                    self._tail = self._read_span(
+                    self._tail = bytearray(self._read_span(
                         self._slot_base(slot), end_offset - partial, partial
-                    )
+                    ))
         self._durable_seq = self._seq
         self._unflushed = 0
         self._open = True
@@ -452,17 +457,24 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
         return seq
 
     def _write_record_bytes(self, record: bytes) -> None:
-        """Append raw record bytes at the active slot's tail."""
+        """Append raw record bytes at the active slot's tail.
+
+        ``_tail`` is a persistent bytearray extended in place — the
+        append path never rebuilds the whole partial-sector buffer per
+        record the way a bytes concatenation would.
+        """
         base = self._slot_base(self._active)
-        tail_start = self._append_offset - len(self._tail)
-        buf = self._tail + record
+        tail = self._tail
+        tail_start = self._append_offset - len(tail)
+        tail += record
         sector = base + tail_start // SECTOR_SIZE
         index = 0
-        while len(buf) - index >= SECTOR_SIZE:
-            self._write_sector(sector, buf[index : index + SECTOR_SIZE])
+        while len(tail) - index >= SECTOR_SIZE:
+            self._write_sector(sector, bytes(tail[index : index + SECTOR_SIZE]))
             sector += 1
             index += SECTOR_SIZE
-        self._tail = buf[index:]
+        if index:
+            del tail[:index]
         self._append_offset += len(record)
 
     def _flush_tail(self) -> None:
@@ -471,7 +483,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
             return
         base = self._slot_base(self._active)
         tail_start = self._append_offset - len(self._tail)
-        self._write_sector(base + tail_start // SECTOR_SIZE, self._tail)
+        self._write_sector(base + tail_start // SECTOR_SIZE, bytes(self._tail))
 
     def _pad_to_sector(self) -> None:
         """Advance the append point to a sector boundary.
@@ -498,7 +510,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
             # sub-header gaps at sector tails.
             self._flush_tail()
             self._append_offset += remainder
-            self._tail = b""
+            self._tail = bytearray()
 
     def _barrier(self) -> None:
         """Flush barrier: everything appended so far becomes durable."""
@@ -535,7 +547,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
         self._slots.append(slot)
         self._slot_records[slot] = []
         self._append_offset = 0
-        self._tail = b""
+        self._tail = bytearray()
         self._commit_manifest()
         self._blk.call("blk_flush")
 
@@ -560,7 +572,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
         self._slots.append(slot)
         self._slot_records[slot] = []
         self._append_offset = 0
-        self._tail = b""
+        self._tail = bytearray()
         self._commit_manifest()
         self._blk.call("blk_flush")
         self._durable_seq = self._seq
@@ -654,7 +666,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
         last_slot, last_image, _ = images[-1]
         self._append_offset = len(last_image)
         partial = self._append_offset % SECTOR_SIZE
-        self._tail = bytes(last_image[-partial:]) if partial else b""
+        self._tail = bytearray(last_image[-partial:]) if partial else bytearray()
         # Align the merged log to a sector boundary so future appends
         # never rewrite a sector holding (flushed) merged records.
         self._pad_to_sector()

@@ -47,6 +47,11 @@ class NIC:
         #: Simulated time at which the wire can deliver the next packet
         #: (line-rate pacing; see CostModel.wire_byte_ns).
         self._wire_ready_ns = 0.0
+        #: True once the client source answered None (nothing in
+        #: flight): ``_wire_ready_ns`` is then not a meaningful arrival
+        #: time.  Cleared by :meth:`tx` — a transmitted response may
+        #: open the client's window — and by the next successful pull.
+        self._wire_idle = False
         self.rx_packets = 0
         self.tx_packets = 0
         self.rx_bytes = 0
@@ -87,9 +92,11 @@ class NIC:
             if packet is None:
                 # The wire went idle (client window empty): the next
                 # transmission cannot start earlier than now.
+                self._wire_idle = True
                 if self._wire_ready_ns < now:
                     self._wire_ready_ns = now
                 return
+            self._wire_idle = False
             addr = self._rx_posted.popleft()
             self.machine.dma_write(self.space, addr, packet)
             self._rx_done.append((addr, len(packet)))
@@ -114,6 +121,21 @@ class NIC:
         self.machine.cpu.bump("nic_rx")
         return self._rx_done.popleft()
 
+    def next_rx_ready_ns(self) -> float | None:
+        """When the wire will next have a packet ready, if known.
+
+        Returns None when data is already waiting, when no client is
+        attached, or when the wire is idle (the client's window is
+        closed, so no arrival time exists) — callers must then keep
+        polling.  Otherwise the next packet finishes arriving at
+        exactly ``_wire_ready_ns``, so an rx thread that found nothing
+        to do may sleep until then (:class:`IdleUntil`) instead of
+        burning empty-poll quanta.
+        """
+        if self._rx_done or self.rx_source is None or self._wire_idle:
+            return None
+        return self._wire_ready_ns
+
     @property
     def rx_pending(self) -> int:
         """Packets DMA'd and waiting for the driver."""
@@ -132,6 +154,8 @@ class NIC:
             raise GateError(f"{self.name}: not attached")
         self.machine.cpu.charge(self.machine.cost.nic_op_ns)
         self.machine.cpu.bump("nic_tx")
+        # A response may open the client's window: ask the source again.
+        self._wire_idle = False
         data = self.machine.dma_read(self.space, addr, length)
         self.tx_packets += 1
         self.tx_bytes += length

@@ -15,7 +15,10 @@ import struct
 
 #: Header layout: src port, dst port, seq, ack, length, flags, pad.
 HEADER_FMT = "!HHIIHBB"
-HEADER_SIZE = struct.calcsize(HEADER_FMT)
+#: Precompiled header codec: pack/unpack without re-parsing the format
+#: string on every packet (this runs once per segment on the data path).
+_HEADER_STRUCT = struct.Struct(HEADER_FMT)
+HEADER_SIZE = _HEADER_STRUCT.size
 assert HEADER_SIZE == 16
 
 #: Maximum transmission unit (standard Ethernet).
@@ -50,8 +53,7 @@ class Header:
 
 def pack_header(header: Header) -> bytes:
     """Serialise a header to its 16-byte wire form."""
-    return struct.pack(
-        HEADER_FMT,
+    return _HEADER_STRUCT.pack(
         header.src_port,
         header.dst_port,
         header.seq & 0xFFFFFFFF,
@@ -66,9 +68,7 @@ def unpack_header(raw: bytes) -> Header:
     """Parse the 16-byte wire form into a :class:`Header`."""
     if len(raw) < HEADER_SIZE:
         raise ValueError(f"short header: {len(raw)} bytes")
-    src, dst, seq, ack, length, flags, _pad = struct.unpack(
-        HEADER_FMT, raw[:HEADER_SIZE]
-    )
+    src, dst, seq, ack, length, flags, _pad = _HEADER_STRUCT.unpack_from(raw)
     return Header(src, dst, seq, ack, length, flags)
 
 

@@ -29,17 +29,24 @@ from typing import Generator
 from repro.libos.library import MicroLibrary, export, export_blocking
 from repro.libos.net.nic import NIC
 from repro.libos.net.packet import HEADER_SIZE, MSS, Header, pack_header, unpack_header
-from repro.libos.sched.base import YIELD
+from repro.libos.sched.base import YIELD, IdleUntil
 from repro.machine.faults import GateError
 
 
-@dataclasses.dataclass
 class _Segment:
-    """One received packet queued on a connection."""
+    """One received packet queued on a connection.
 
-    addr: int
-    offset: int
-    remaining: int
+    Plain slotted object, recycled through the stack's segment pool:
+    the rx path creates one per packet, so pooling them (like the mbufs
+    they describe) keeps steady-state receive free of allocation churn.
+    """
+
+    __slots__ = ("addr", "offset", "remaining")
+
+    def __init__(self, addr: int, offset: int, remaining: int) -> None:
+        self.addr = addr
+        self.offset = offset
+        self.remaining = remaining
 
 
 @dataclasses.dataclass
@@ -122,6 +129,9 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
         self._conns_by_port: dict[int, Connection] = {}
         self._next_fd = 3
         self._mbuf_cache: list[int] = []
+        #: Recycled :class:`_Segment` descriptors (host-side objects —
+        #: no simulated cost, just less per-packet allocation churn).
+        self._segment_pool: list[_Segment] = []
         self._stopped = False
         self.rx_drops = 0
         self._alloc = None
@@ -167,6 +177,24 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
 
     def _mbuf_put(self, addr: int) -> None:
         self._mbuf_cache.append(addr)
+
+    # --- segment pool -----------------------------------------------------------
+
+    #: Upper bound on pooled segment descriptors (≈ ring depth × conns).
+    SEGMENT_POOL_MAX = 256
+
+    def _segment_get(self, addr: int, offset: int, remaining: int) -> _Segment:
+        if self._segment_pool:
+            segment = self._segment_pool.pop()
+            segment.addr = addr
+            segment.offset = offset
+            segment.remaining = remaining
+            return segment
+        return _Segment(addr, offset, remaining)
+
+    def _segment_put(self, segment: _Segment) -> None:
+        if len(self._segment_pool) < self.SEGMENT_POOL_MAX:
+            self._segment_pool.append(segment)
 
     # --- socket API ----------------------------------------------------------------
 
@@ -224,6 +252,7 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
             if segment.remaining == 0:
                 conn.rx_chain.popleft()
                 self._mbuf_put(segment.addr)
+                self._segment_put(segment)
         conn.bytes_buffered -= copied
         return copied
 
@@ -321,7 +350,7 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
                 continue
             conn.peer_port = header.src_port
             conn.rx_chain.append(
-                _Segment(addr=addr, offset=HEADER_SIZE, remaining=header.length)
+                self._segment_get(addr, HEADER_SIZE, header.length)
             )
             self._touch_tcb(conn)
             conn.bytes_buffered += header.length
@@ -347,7 +376,18 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
 
         def body() -> Generator:
             while not self._stopped:
-                self.rx_process(quantum)
+                processed = self.rx_process(quantum)
+                if processed == 0:
+                    # Nothing to do.  If the NIC knows exactly when the
+                    # wire delivers the next packet, sleep until then —
+                    # once everything else blocks too, the scheduler
+                    # jumps the clock there instead of ticking empty
+                    # polls.  Unknown arrival time (idle wire, closed
+                    # client window) → keep yield-polling.
+                    ready = self.nic.next_rx_ready_ns()
+                    if ready is not None and ready > self.machine.cpu.clock_ns:
+                        yield IdleUntil(ready)
+                        continue
                 yield YIELD
 
         return body
@@ -362,6 +402,7 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
         while conn.rx_chain:
             segment = conn.rx_chain.popleft()
             self._mbuf_put(segment.addr)
+            self._segment_put(segment)
         conn.bytes_buffered = 0
         del self._conns_by_fd[sockfd]
         self._conns_by_port.pop(conn.port, None)

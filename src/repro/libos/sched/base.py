@@ -53,6 +53,23 @@ class Block:
     waitq: "WaitQueue"
 
 
+@dataclasses.dataclass
+class IdleUntil:
+    """Directive: sleep until the simulated clock reaches a deadline.
+
+    Yielded by driver threads that know exactly when their device next
+    has work (e.g. the netstack rx loop while the wire is serialising a
+    backlog).  The scheduler parks the thread on its private idle queue
+    and arms an internal timer; once every thread is blocked this way,
+    the run loop's tickless-idle branch jumps the clock straight to the
+    earliest deadline instead of burning empty polling quanta — the
+    event-driven clock.  A deadline already in the past degrades to a
+    plain :data:`YIELD`.
+    """
+
+    deadline_ns: float
+
+
 class WaitQueue:
     """A FIFO of blocked threads (semaphores, socket readiness, ...)."""
 
@@ -102,6 +119,8 @@ class Thread:
         self.ctx_stack: list["Context"] = [home_context]
         #: Wait queue the thread is currently parked on, if any.
         self.waitq: WaitQueue | None = None
+        #: Private queue for :class:`IdleUntil` sleeps (timer wakeups).
+        self.idle_waitq = WaitQueue(f"idle:{tid}")
         #: Home stack region (one per compartment under switched gates).
         self.stack_base = stack_base
         self.stack_size = stack_size

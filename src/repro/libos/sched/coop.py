@@ -15,7 +15,14 @@ from collections import deque
 from typing import Callable, Generator
 
 from repro.libos.library import MicroLibrary, export, export_blocking
-from repro.libos.sched.base import Block, Thread, ThreadState, WaitQueue, Yield
+from repro.libos.sched.base import (
+    Block,
+    IdleUntil,
+    Thread,
+    ThreadState,
+    WaitQueue,
+    Yield,
+)
 from repro.machine.faults import (
     CONTAINABLE_FAULTS,
     CompartmentFailure,
@@ -312,6 +319,26 @@ thread_join(tid)
                 thread.state = ThreadState.BLOCKED
                 thread.waitq = directive.waitq
                 directive.waitq.park(thread)
+            elif isinstance(directive, IdleUntil):
+                deadline = directive.deadline_ns
+                if deadline <= cpu.clock_ns:
+                    # Already due: nothing to sleep for.
+                    thread.state = ThreadState.READY
+                    self.run_queue.append(thread)
+                else:
+                    # Park on the thread's private idle queue and arm an
+                    # internal one-shot timer; the tickless-idle branch
+                    # above jumps the clock to this deadline once nothing
+                    # else is runnable (the event-driven clock).
+                    self.charge(self.machine.cost.waitq_op_ns)
+                    thread.state = ThreadState.BLOCKED
+                    thread.waitq = thread.idle_waitq
+                    thread.idle_waitq.park(thread)
+                    self._timer_seq += 1
+                    heapq.heappush(
+                        self._timers,
+                        (deadline, self._timer_seq, thread.idle_waitq),
+                    )
             else:
                 raise GateError(
                     f"thread {thread.name} yielded invalid directive "

@@ -66,6 +66,44 @@ class AddressSpace:
         self._pages: dict[int, PageEntry] = {}
         self._next_va = base
         self._limit = limit
+        #: Software TLB: ``(vpn, op, pkru) → frame`` for accesses whose
+        #: permission + PKRU checks already passed.  The machine fast
+        #: path consults it to skip the page walk (see
+        #: :meth:`repro.machine.machine.Machine.load`).  Keying on the
+        #: PKRU value means a WRPKRU or context switch needs no explicit
+        #: shootdown — a different PKRU simply misses.  Any page-table
+        #: mutation (map/unmap/protect) clears the whole cache, which is
+        #: observationally equivalent to the epoch-tag scheme (a bumped
+        #: epoch makes every old key unreachable; clearing reclaims the
+        #: memory too).
+        self._access_cache: dict[tuple[int, str, int], int] = {}
+        #: Range extension of the software TLB: ``(vpn, npages, op,
+        #: pkru) → base paddr`` for multi-page runs whose pages all
+        #: passed their checks *and* whose frames are physically
+        #: contiguous (the common case — ``map_new`` allocates frames
+        #: sequentially).  A hit turns a bulk access into one slice
+        #: instead of a per-page walk; runs that are not contiguous
+        #: simply never enter the cache and keep taking the per-page
+        #: path.
+        self._range_cache: dict[tuple[int, int, str, int], int] = {}
+        #: Translation-only cache (``vpn → frame``) for device DMA,
+        #: which bypasses permissions and PKRU entirely.
+        self._frame_cache: dict[int, int] = {}
+        #: Monotonic generation counter: bumped on every page-table
+        #: mutation.  Telemetry / debugging aid; correctness rests on
+        #: the caches being cleared, not on this number.
+        self.epoch = 0
+        #: How many times the software TLB was shot down.
+        self.tlb_invalidations = 0
+
+    def _invalidate(self) -> None:
+        """Shoot down the software TLB after a page-table mutation."""
+        self.epoch += 1
+        if self._access_cache or self._frame_cache or self._range_cache:
+            self._access_cache.clear()
+            self._range_cache.clear()
+            self._frame_cache.clear()
+            self.tlb_invalidations += 1
 
     # --- mapping ---------------------------------------------------------
 
@@ -119,11 +157,13 @@ class AddressSpace:
                     f"{self.name}: page {(vpn + index) << PAGE_SHIFT:#x} already mapped"
                 )
             self._pages[vpn + index] = PageEntry(frame, perms, pkey)
+        self._invalidate()
 
     def unmap(self, vaddr: int, size: int, free_frames: bool = True) -> None:
         """Remove mappings for the range; optionally free the frames."""
         size = page_align_up(size)
         vpn = vaddr >> PAGE_SHIFT
+        self._invalidate()
         for index in range(size >> PAGE_SHIFT):
             entry = self._pages.pop(vpn + index, None)
             if entry is None:
@@ -158,6 +198,10 @@ class AddressSpace:
         """
         size = page_align_up(size)
         vpn = vaddr >> PAGE_SHIFT
+        # Shoot down before mutating: a PageFault halfway through the
+        # range must not leave stale cached rights for the pages whose
+        # entries were already rewritten.
+        self._invalidate()
         for index in range(size >> PAGE_SHIFT):
             entry = self._pages.get(vpn + index)
             if entry is None:

@@ -80,14 +80,27 @@ class CPU:
 
     def __init__(self, cost: CostModel | None = None) -> None:
         self.cost = cost if cost is not None else DEFAULT_COST_MODEL
-        self.clock_ns: float = 0.0
+        self._clock_ns: float = 0.0
         self.charging: bool = True
         self._contexts: list[Context] = []
+        # Deferred accounting (the machine fast path): memory ops
+        # accumulate their clock and counter deltas into these plain
+        # attributes instead of going through charge()/bump() per op.
+        # flush_accounting() folds them into the real clock/counters at
+        # every observation point — any direct charge, context change,
+        # stats/snapshot read — so no external reader can tell the
+        # difference.  The per-op counter deltas are integer-valued
+        # floats, so addition order cannot change their value.
+        self._pending_ns: float = 0.0
+        self._pend_loads: float = 0.0
+        self._pend_load_bytes: float = 0.0
+        self._pend_stores: float = 0.0
+        self._pend_store_bytes: float = 0.0
         #: All metrics of this CPU (counters, histograms, gate edges).
         self.metrics = MetricsRegistry()
-        #: Legacy flat-counter view — the registry's counter table
-        #: itself, so ``bump``/``stats`` and the registry never diverge.
-        self.stats: dict[str, float] = self.metrics.counters
+        # Reading any counter through the registry API must first fold
+        # in the pending memory-op deltas (see flush_accounting).
+        self.metrics._pre_read = self.flush_accounting
         #: Span tracer, attached by :class:`repro.obs.Observability`
         #: (None only for a bare CPU constructed outside a Machine).
         self.tracer = None
@@ -96,13 +109,72 @@ class CPU:
         #: profiler.  Off by default (it taxes every charge).
         self.attribute_time: bool = False
         #: Accumulated simulated ns per domain-profile name.
-        self.domain_time_ns: dict[str, float] = {}
+        self._domain_time_ns: dict[str, float] = {}
         # PKRU sealing: WRPKRU is unprivileged on real hardware, so any
         # compartment could rewrite its own permissions.  FlexOS must
         # police it ("via static analysis, runtime checks or page-table
         # sealing", §3); here only holders of the gate token — the gate
         # implementations — may issue WRPKRU.
         self._gate_token = object()
+
+    # --- deferred accounting ----------------------------------------------
+
+    @property
+    def clock_ns(self) -> float:
+        """Current simulated time, pending memory-op charges included.
+
+        The flush adds the same single ``_pending_ns`` term to
+        ``_clock_ns`` that this property adds on the fly, so reading
+        the clock and flushing it produce bit-identical floats.
+        """
+        return self._clock_ns + self._pending_ns
+
+    @property
+    def stats(self) -> dict[str, float]:
+        """Legacy flat-counter view — the registry's counter table
+        itself (flushed), so ``bump``/``stats`` never diverge."""
+        self.flush_accounting()
+        return self.metrics.counters
+
+    @property
+    def domain_time_ns(self) -> dict[str, float]:
+        """Accumulated simulated ns per domain-profile name (flushed)."""
+        self.flush_accounting()
+        return self._domain_time_ns
+
+    def flush_accounting(self) -> None:
+        """Fold pending memory-op charges into the clock and counters.
+
+        Called at every observation point: direct charges, context
+        push/pop/swap (so attribution lands on the accruing context),
+        counter/snapshot reads, and scheduler switches.  Idempotent and
+        cheap when nothing is pending.
+        """
+        pending = self._pending_ns
+        if pending:
+            self._pending_ns = 0.0
+            self._clock_ns += pending
+            if self.attribute_time and self._contexts:
+                name = self._contexts[-1].profile.name
+                self._domain_time_ns[name] = (
+                    self._domain_time_ns.get(name, 0.0) + pending
+                )
+        if self._pend_loads:
+            counters = self.metrics.counters
+            counters["loads"] = counters.get("loads", 0.0) + self._pend_loads
+            counters["load_bytes"] = (
+                counters.get("load_bytes", 0.0) + self._pend_load_bytes
+            )
+            self._pend_loads = 0.0
+            self._pend_load_bytes = 0.0
+        if self._pend_stores:
+            counters = self.metrics.counters
+            counters["stores"] = counters.get("stores", 0.0) + self._pend_stores
+            counters["store_bytes"] = (
+                counters.get("store_bytes", 0.0) + self._pend_store_bytes
+            )
+            self._pend_stores = 0.0
+            self._pend_store_bytes = 0.0
 
     # --- context management ----------------------------------------------
 
@@ -120,12 +192,14 @@ class CPU:
 
     def push_context(self, context: Context) -> None:
         """Enter a protection domain (gate entry, boot)."""
+        self.flush_accounting()
         self._contexts.append(context)
 
     def pop_context(self) -> Context:
         """Leave the current protection domain (gate return)."""
         if not self._contexts:
             raise RuntimeError("context stack underflow")
+        self.flush_accounting()
         return self._contexts.pop()
 
     @property
@@ -143,6 +217,7 @@ class CPU:
         the stack pointer in the thread control block (which is exactly
         why the paper requires the scheduler to be trusted under MPK).
         """
+        self.flush_accounting()
         old = self._contexts
         self._contexts = new_stack
         return old
@@ -186,12 +261,31 @@ class CPU:
     def charge(self, ns: float) -> None:
         """Advance the clock by ``ns`` simulated nanoseconds."""
         if self.charging:
-            self.clock_ns += ns
+            self.flush_accounting()
+            self._clock_ns += ns
             if self.attribute_time and self._contexts:
                 name = self._contexts[-1].profile.name
-                self.domain_time_ns[name] = (
-                    self.domain_time_ns.get(name, 0.0) + ns
+                self._domain_time_ns[name] = (
+                    self._domain_time_ns.get(name, 0.0) + ns
                 )
+
+    def charge_mem(self, ns: float, op: str, size: int) -> None:
+        """Deferred-accounting charge for one memory op.
+
+        Accumulates the clock delta and the loads/stores counters into
+        the pending accumulators instead of the registry; they are
+        folded in by :meth:`flush_accounting` at the next observation
+        point.  Both the machine's fast and slow access paths use this,
+        so the fastpath toggle cannot change any accounted value.
+        """
+        if self.charging:
+            self._pending_ns += ns
+        if op == "load":
+            self._pend_loads += 1.0
+            self._pend_load_bytes += size
+        else:
+            self._pend_stores += 1.0
+            self._pend_store_bytes += size
 
     def bump(self, counter: str, amount: float = 1.0) -> None:
         """Increment a named statistics counter (via the registry)."""
@@ -199,7 +293,8 @@ class CPU:
 
     def reset_stats(self) -> None:
         """Clear all counters (the clock is left untouched)."""
-        self.stats.clear()
+        self.flush_accounting()
+        self.metrics.counters.clear()
 
     def snapshot(self) -> dict[str, float]:
         """Copy of the counters plus the current clock."""

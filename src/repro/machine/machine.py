@@ -23,14 +23,18 @@ harness play the role of the external traffic generator.
 
 from __future__ import annotations
 
+import os
+
 from repro.machine.address_space import AddressSpace, Permissions
 from repro.machine.cpu import CPU, Context
 from repro.machine.cycles import CostModel
 from repro.machine.ept import SharedWindowAllocator, VMDomain
 from repro.machine.faults import PageFault, ProtectionFault
-from repro.machine.memory import PhysicalMemory
+from repro.machine.memory import PAGE_SHIFT, PhysicalMemory
 from repro.machine.mpk import pkru_readable, pkru_writable
 from repro.obs import Observability
+
+_PAGE_MASK = (1 << PAGE_SHIFT) - 1
 
 
 class Machine:
@@ -40,9 +44,26 @@ class Machine:
         self,
         cost: CostModel | None = None,
         phys_bytes: int = 64 * 1024 * 1024,
+        fastpath: bool | None = None,
     ) -> None:
         self.phys = PhysicalMemory(phys_bytes)
         self.cpu = CPU(cost)
+        #: Software-TLB fast path for load/store/DMA.  On by default;
+        #: ``fastpath=False`` (or env ``REPRO_FASTPATH=0``) forces the
+        #: original page-walk on every access — the reference the
+        #: differential tests and ``bench_machine.py --check`` compare
+        #: against.  The toggle only controls translation caching;
+        #: charging and counters take the same code path either way,
+        #: so every simulated observable is bit-identical.
+        if fastpath is None:
+            fastpath = os.environ.get("REPRO_FASTPATH", "1") != "0"
+        self.fastpath_enabled = bool(fastpath)
+        #: Software-TLB telemetry.  Deliberately *not* registry
+        #: counters: hit/miss counts differ between fast and slow runs
+        #: by construction, and keeping them out of the registry keeps
+        #: ``cpu.snapshot()`` bit-identical across the toggle.
+        self.tlb_hits = 0
+        self.tlb_misses = 0
         #: Observability: span tracer (disabled by default) + metrics
         #: registry (shared with the CPU).  See :mod:`repro.obs`.
         self.obs = Observability(self.cpu)
@@ -90,21 +111,102 @@ class Machine:
 
     # --- checked access -----------------------------------------------------
 
+    def _tlb_fill(
+        self, space: AddressSpace, context: Context, vaddr: int, op: str
+    ) -> int:
+        """Software-TLB miss: full page walk + checks, then cache.
+
+        Performs exactly the checks — and raises exactly the faults —
+        the slow path performs for one page, then records the earned
+        translation under ``(vpn, op, pkru)``.  Only reached for
+        non-capability contexts (capability checks are per-access
+        bounds, not per-page rights, so they can never be cached).
+        """
+        vpn = vaddr >> PAGE_SHIFT
+        entry = space._pages.get(vpn)
+        if entry is None:
+            raise PageFault(vaddr, "access", f"not mapped in {space.name}")
+        if op == "read":
+            if not entry.perms & Permissions.READ:
+                raise PageFault(vaddr, "read", "page not readable")
+            if not pkru_readable(context.pkru, entry.pkey):
+                raise ProtectionFault(vaddr, "read", entry.pkey, context.label)
+        else:
+            if not entry.perms & Permissions.WRITE:
+                raise PageFault(vaddr, "write", "page not writable")
+            if not pkru_writable(context.pkru, entry.pkey):
+                raise ProtectionFault(vaddr, "write", entry.pkey, context.label)
+        self.tlb_misses += 1
+        space._access_cache[(vpn, op, context.pkru)] = entry.frame
+        return entry.frame
+
     def load(self, vaddr: int, size: int) -> bytes:
         """Checked read of ``size`` bytes by the current context."""
         cpu = self.cpu
         context = cpu.current
         profile = context.profile
-        cpu.charge(
-            (cpu.cost.mem_op_ns + size * cpu.cost.mem_byte_ns) * profile.load_factor
+        cpu.charge_mem(
+            (cpu.cost.mem_op_ns + size * cpu.cost.mem_byte_ns) * profile.load_factor,
+            "load",
+            size,
         )
-        cpu.bump("loads")
-        cpu.bump("load_bytes", size)
-        for monitor in profile.monitors:
-            monitor(self, "load", vaddr, size)
+        if profile.monitors:
+            for monitor in profile.monitors:
+                monitor(self, "load", vaddr, size)
         if context.capabilities is not None:
             cpu.charge(cpu.cost.cheri_check_ns)
             context.capabilities.check(vaddr, size, "load")
+        elif self.fastpath_enabled and size > 0:
+            space = context.address_space
+            cache = space._access_cache
+            vpn = vaddr >> PAGE_SHIFT
+            if (vaddr + size - 1) >> PAGE_SHIFT == vpn:
+                # Hot case: the access fits one page — one dict probe,
+                # one slice.
+                frame = cache.get((vpn, "read", context.pkru))
+                if frame is None:
+                    frame = self._tlb_fill(space, context, vaddr, "read")
+                else:
+                    self.tlb_hits += 1
+                paddr = (frame << PAGE_SHIFT) | (vaddr & _PAGE_MASK)
+                return bytes(self.phys.view[paddr : paddr + size])
+            # Multi-page: try the range cache first — one probe and one
+            # slice when the run was already checked and its frames are
+            # physically contiguous.
+            pkru = context.pkru
+            last_vpn = (vaddr + size - 1) >> PAGE_SHIFT
+            npages = last_vpn - vpn + 1
+            range_key = (vpn, npages, "read", pkru)
+            base_paddr = space._range_cache.get(range_key)
+            view = self.phys.view
+            if base_paddr is not None:
+                self.tlb_hits += 1
+                paddr = base_paddr | (vaddr & _PAGE_MASK)
+                return bytes(view[paddr : paddr + size])
+            chunks = []
+            offset = vaddr
+            end = vaddr + size
+            first_frame = None
+            next_frame = None
+            while offset < end:
+                vpn = offset >> PAGE_SHIFT
+                chunk = min(end, (vpn + 1) << PAGE_SHIFT) - offset
+                frame = cache.get((vpn, "read", pkru))
+                if frame is None:
+                    frame = self._tlb_fill(space, context, offset, "read")
+                else:
+                    self.tlb_hits += 1
+                if first_frame is None:
+                    first_frame = frame
+                elif frame != next_frame:
+                    first_frame = -1  # run is not physically contiguous
+                next_frame = frame + 1
+                paddr = (frame << PAGE_SHIFT) | (offset & _PAGE_MASK)
+                chunks.append(view[paddr : paddr + chunk])
+                offset += chunk
+            if first_frame >= 0:
+                space._range_cache[range_key] = first_frame << PAGE_SHIFT
+            return b"".join(chunks)
         chunks = []
         for chunk_va, chunk_size, entry in context.address_space.iter_range(
             vaddr, size
@@ -125,16 +227,72 @@ class Machine:
         context = cpu.current
         profile = context.profile
         size = len(payload)
-        cpu.charge(
-            (cpu.cost.mem_op_ns + size * cpu.cost.mem_byte_ns) * profile.store_factor
+        cpu.charge_mem(
+            (cpu.cost.mem_op_ns + size * cpu.cost.mem_byte_ns) * profile.store_factor,
+            "store",
+            size,
         )
-        cpu.bump("stores")
-        cpu.bump("store_bytes", size)
-        for monitor in profile.monitors:
-            monitor(self, "store", vaddr, size)
+        if profile.monitors:
+            for monitor in profile.monitors:
+                monitor(self, "store", vaddr, size)
         if context.capabilities is not None:
             cpu.charge(cpu.cost.cheri_check_ns)
             context.capabilities.check(vaddr, size, "store")
+        elif self.fastpath_enabled and size > 0:
+            space = context.address_space
+            cache = space._access_cache
+            data = self.phys.data
+            vpn = vaddr >> PAGE_SHIFT
+            if (vaddr + size - 1) >> PAGE_SHIFT == vpn:
+                frame = cache.get((vpn, "write", context.pkru))
+                if frame is None:
+                    frame = self._tlb_fill(space, context, vaddr, "write")
+                else:
+                    self.tlb_hits += 1
+                paddr = (frame << PAGE_SHIFT) | (vaddr & _PAGE_MASK)
+                data[paddr : paddr + size] = payload
+                return
+            # Multi-page: a range-cache hit means every page of the run
+            # already passed its checks and the frames are physically
+            # contiguous — the whole store is one slice assignment.
+            pkru = context.pkru
+            last_vpn = (vaddr + size - 1) >> PAGE_SHIFT
+            npages = last_vpn - vpn + 1
+            range_key = (vpn, npages, "write", pkru)
+            base_paddr = space._range_cache.get(range_key)
+            if base_paddr is not None:
+                self.tlb_hits += 1
+                paddr = base_paddr | (vaddr & _PAGE_MASK)
+                data[paddr : paddr + size] = payload
+                return
+            # Miss: check-and-write page by page, in order, so a fault
+            # mid-store leaves exactly the pages before it written —
+            # matching the slow path byte for byte.
+            offset = 0
+            va = vaddr
+            end = vaddr + size
+            first_frame = None
+            next_frame = None
+            while va < end:
+                vpn = va >> PAGE_SHIFT
+                chunk = min(end, (vpn + 1) << PAGE_SHIFT) - va
+                frame = cache.get((vpn, "write", pkru))
+                if frame is None:
+                    frame = self._tlb_fill(space, context, va, "write")
+                else:
+                    self.tlb_hits += 1
+                if first_frame is None:
+                    first_frame = frame
+                elif frame != next_frame:
+                    first_frame = -1  # run is not physically contiguous
+                next_frame = frame + 1
+                paddr = (frame << PAGE_SHIFT) | (va & _PAGE_MASK)
+                data[paddr : paddr + chunk] = payload[offset : offset + chunk]
+                offset += chunk
+                va += chunk
+            if first_frame >= 0:
+                space._range_cache[range_key] = first_frame << PAGE_SHIFT
+            return
         offset = 0
         for chunk_va, chunk_size, entry in context.address_space.iter_range(
             vaddr, size
@@ -159,8 +317,34 @@ class Machine:
 
     # --- unchecked / device access ---------------------------------------------
 
+    def _dma_frame(self, space: AddressSpace, vaddr: int) -> int:
+        """Translation-cache miss for device DMA (no permission checks)."""
+        vpn = vaddr >> PAGE_SHIFT
+        entry = space._pages.get(vpn)
+        if entry is None:
+            raise PageFault(vaddr, "access", f"not mapped in {space.name}")
+        space._frame_cache[vpn] = entry.frame
+        return entry.frame
+
     def dma_write(self, space: AddressSpace, vaddr: int, payload: bytes) -> None:
         """Device write: translates via ``space``, bypasses PKRU and cost."""
+        if self.fastpath_enabled:
+            cache = space._frame_cache
+            data = self.phys.data
+            offset = 0
+            va = vaddr
+            end = vaddr + len(payload)
+            while va < end:
+                vpn = va >> PAGE_SHIFT
+                chunk = min(end, (vpn + 1) << PAGE_SHIFT) - va
+                frame = cache.get(vpn)
+                if frame is None:
+                    frame = self._dma_frame(space, va)
+                paddr = (frame << PAGE_SHIFT) | (va & _PAGE_MASK)
+                data[paddr : paddr + chunk] = payload[offset : offset + chunk]
+                offset += chunk
+                va += chunk
+            return
         offset = 0
         for chunk_va, chunk_size, entry in space.iter_range(vaddr, len(payload)):
             paddr = (entry.frame << 12) | (chunk_va & 0xFFF)
@@ -169,11 +353,43 @@ class Machine:
 
     def dma_read(self, space: AddressSpace, vaddr: int, size: int) -> bytes:
         """Device read: translates via ``space``, bypasses PKRU and cost."""
+        if self.fastpath_enabled:
+            cache = space._frame_cache
+            view = self.phys.view
+            chunks = []
+            va = vaddr
+            end = vaddr + size
+            while va < end:
+                vpn = va >> PAGE_SHIFT
+                chunk = min(end, (vpn + 1) << PAGE_SHIFT) - va
+                frame = cache.get(vpn)
+                if frame is None:
+                    frame = self._dma_frame(space, va)
+                paddr = (frame << PAGE_SHIFT) | (va & _PAGE_MASK)
+                chunks.append(view[paddr : paddr + chunk])
+                va += chunk
+            if len(chunks) == 1:
+                return bytes(chunks[0])
+            return b"".join(chunks)
         chunks = []
         for chunk_va, chunk_size, entry in space.iter_range(vaddr, size):
             paddr = (entry.frame << 12) | (chunk_va & 0xFFF)
             chunks.append(self.phys.read(paddr, chunk_size))
         return b"".join(chunks)
+
+    # --- fastpath telemetry -----------------------------------------------
+
+    def fastpath_stats(self) -> dict:
+        """Software-TLB telemetry (host-side; never charged, never in
+        the metrics registry — see note in ``__init__``)."""
+        return {
+            "enabled": self.fastpath_enabled,
+            "tlb_hits": self.tlb_hits,
+            "tlb_misses": self.tlb_misses,
+            "tlb_invalidations": sum(
+                space.tlb_invalidations for space in self.spaces.values()
+            ),
+        }
 
     # --- context helpers --------------------------------------------------------
 

@@ -25,7 +25,9 @@ class PhysicalMemory:
 
     Frames are handed out by a bump allocator with a free list so that
     unmapped regions can be recycled.  All byte content lives in one
-    ``bytearray`` indexed by physical address.
+    ``bytearray`` indexed by physical address; :attr:`view` is a cached
+    ``memoryview`` over it so readers can slice without the double copy
+    a ``bytes(bytearray[...])`` round-trip costs.
     """
 
     def __init__(self, size_bytes: int = 64 * 1024 * 1024) -> None:
@@ -33,6 +35,9 @@ class PhysicalMemory:
             raise ValueError("physical memory size must be a positive page multiple")
         self.size = size_bytes
         self.data = bytearray(size_bytes)
+        #: Zero-copy window over :attr:`data`; slicing it is free and
+        #: ``bytes(view[a:b])`` copies exactly once.
+        self.view = memoryview(self.data)
         self._next_frame = 0
         self._free_frames: list[int] = []
         self.num_frames = size_bytes >> PAGE_SHIFT
@@ -48,10 +53,24 @@ class PhysicalMemory:
         return frame
 
     def alloc_frames(self, count: int) -> list[int]:
-        """Allocate ``count`` frames (not necessarily contiguous)."""
+        """Allocate ``count`` frames (not necessarily contiguous).
+
+        All-or-nothing: if memory runs out partway, the frames already
+        taken are rolled back onto the free list before the
+        :class:`OutOfMemoryError` propagates, so a failed bulk request
+        never leaks frames.
+        """
         if count < 0:
             raise ValueError("frame count must be non-negative")
-        return [self.alloc_frame() for _ in range(count)]
+        frames: list[int] = []
+        try:
+            for _ in range(count):
+                frames.append(self.alloc_frame())
+        except OutOfMemoryError:
+            while frames:
+                self._free_frames.append(frames.pop())
+            raise
+        return frames
 
     def free_frame(self, frame: int) -> None:
         """Return a frame to the allocator and scrub its contents."""
@@ -62,13 +81,27 @@ class PhysicalMemory:
         self._free_frames.append(frame)
 
     def read(self, paddr: int, size: int) -> bytes:
-        """Read ``size`` bytes at physical address ``paddr``."""
+        """Read ``size`` bytes at physical address ``paddr``.
+
+        Returns immutable ``bytes`` built from the cached memoryview —
+        one copy, not the two a bytearray-slice round-trip would cost.
+        """
         if paddr < 0 or paddr + size > self.size:
             raise ValueError(f"physical read out of range: {paddr:#x}+{size}")
-        return bytes(self.data[paddr : paddr + size])
+        return bytes(self.view[paddr : paddr + size])
 
-    def write(self, paddr: int, payload: bytes) -> None:
-        """Write ``payload`` at physical address ``paddr``."""
+    def read_view(self, paddr: int, size: int) -> memoryview:
+        """Zero-copy read-only window at ``paddr``.
+
+        The view aliases live memory: it reflects later writes and must
+        not be held across them by callers expecting a snapshot.
+        """
+        if paddr < 0 or paddr + size > self.size:
+            raise ValueError(f"physical read out of range: {paddr:#x}+{size}")
+        return self.view[paddr : paddr + size].toreadonly()
+
+    def write(self, paddr: int, payload) -> None:
+        """Write ``payload`` (any bytes-like) at physical address ``paddr``."""
         if paddr < 0 or paddr + len(payload) > self.size:
             raise ValueError(f"physical write out of range: {paddr:#x}+{len(payload)}")
         self.data[paddr : paddr + len(payload)] = payload

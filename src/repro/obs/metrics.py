@@ -100,6 +100,11 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self.counters: dict[str, float] = {}
+        #: Optional zero-arg hook invoked before any counter read
+        #: (:meth:`counter`, :meth:`snapshot`).  The CPU points it at
+        #: its ``flush_accounting`` so deferred memory-op deltas are
+        #: folded in before anyone observes the table.
+        self._pre_read: "Callable[[], None] | None" = None
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._edges: dict[tuple[str, str, str], EdgeStats] = {}
@@ -119,6 +124,8 @@ class MetricsRegistry:
 
     def counter(self, name: str) -> float:
         """Current value of a counter (0 when never bumped)."""
+        if self._pre_read is not None:
+            self._pre_read()
         return self.counters.get(name, 0.0)
 
     # --- gauges / histograms ----------------------------------------------
@@ -215,6 +222,8 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """JSON-ready copy of everything the registry holds."""
+        if self._pre_read is not None:
+            self._pre_read()
         return {
             "counters": dict(self.counters),
             "gauges": {name: g.value for name, g in sorted(self._gauges.items())},

@@ -166,7 +166,9 @@ class AsanHardener(Hardener):
 
         def monitor(machine, kind: str, vaddr: int, size: int) -> None:
             machine.cpu.charge(cost.asan_check_ns)
-            if shadow.intersects(vaddr, size):
+            # No-watch fast-out: nothing poisoned → skip the interval
+            # search entirely (the common case between allocations).
+            if shadow._starts and shadow.intersects(vaddr, size):
                 raise SHViolation(
                     "asan",
                     f"{kind} of {size} bytes at {vaddr:#x} touches poisoned "

@@ -77,6 +77,9 @@ def collect(
         summary, numbers = run_workload(image, workload)
     if trace_path:
         write_chrome_trace(image.machine.obs.tracer, trace_path)
+    fastpath = image.machine.fastpath_stats()
+    lookups = fastpath["tlb_hits"] + fastpath["tlb_misses"]
+    fastpath["tlb_hit_rate"] = fastpath["tlb_hits"] / lookups if lookups else 0.0
     return {
         "layout": image.layout(),
         "workload": {"summary": summary, **numbers},
@@ -93,6 +96,9 @@ def collect(
         # All zeros unless this process also ran the explorer, but the
         # key is always present so CI can diff report shapes.
         "exploration": exploration_metrics().snapshot(),
+        # Simulation fast-path telemetry (host-side software TLB).
+        # Always collected; the text renderer shows it under --machine.
+        "machine": fastpath,
         "trace_file": str(trace_path) if trace_path else None,
         "profile_file": str(profile_path) if profile_path else None,
         "profile_hash": profile.profile_hash() if profile else None,
@@ -142,7 +148,7 @@ def collect_recovery(seed: int = 0, schedules: int = 1) -> dict:
     }
 
 
-def render_text(data: dict) -> str:
+def render_text(data: dict, show_machine: bool = False) -> str:
     """The human-readable report (the original format)."""
     lines = [
         "== Layout ==",
@@ -196,6 +202,18 @@ def render_text(data: dict) -> str:
         for site, row in sorted(recovery["matrix"].items()):
             cells = "".join(f"{row.get(b, '-'):>16s}" for b in backends)
             lines.append(f"  {site:22s}{cells}")
+
+    machine = data.get("machine")
+    if machine and show_machine:
+        lines += ["", "== Simulation fast path (host-side) =="]
+        lines.append(
+            f"  software TLB: {machine['tlb_hits']} hits, "
+            f"{machine['tlb_misses']} misses "
+            f"({machine['tlb_hit_rate']:.1%} hit rate), "
+            f"{machine['tlb_invalidations']} shootdowns"
+        )
+        if not machine["enabled"]:
+            lines.append("  fast path DISABLED (REPRO_FASTPATH=0)")
 
     if data.get("trace_file"):
         lines += ["", f"trace written to {data['trace_file']}"]
@@ -286,6 +304,13 @@ def main(argv: list[str] | None = None) -> int:
         help="also run a storage recovery campaign (power failures at "
         "the blk/kv sites) and report the recovery verdict matrix",
     )
+    parser.add_argument(
+        "--machine",
+        action="store_true",
+        help="also summarize the simulation fast path (software-TLB "
+        "hit/miss/shootdown counts — host-side telemetry, never part "
+        "of the simulated metrics)",
+    )
     args = parser.parse_args(argv)
     _check_output_dir(parser, "--trace", args.trace)
     _check_output_dir(parser, "--profile", args.profile)
@@ -303,7 +328,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         print(json.dumps(data, indent=2, sort_keys=True))
     else:
-        print(render_text(data))
+        print(render_text(data, show_machine=args.machine))
     return 0
 
 

@@ -86,3 +86,42 @@ def test_negative_frame_count():
     mem = PhysicalMemory(PAGE_SIZE)
     with pytest.raises(ValueError):
         mem.alloc_frames(-1)
+
+
+def test_alloc_frames_rolls_back_on_exhaustion():
+    # Regression: a bulk request that runs out of memory partway used
+    # to leak the frames it had already taken.  The failed request must
+    # leave the allocator exactly as it found it.
+    mem = PhysicalMemory(4 * PAGE_SIZE)
+    mem.alloc_frames(2)
+    assert mem.frames_allocated == 2
+    with pytest.raises(OutOfMemoryError):
+        mem.alloc_frames(3)  # only 2 frames left
+    assert mem.frames_allocated == 2
+    # The rolled-back frames are immediately reusable.
+    assert len(mem.alloc_frames(2)) == 2
+    assert mem.frames_allocated == 4
+
+
+def test_read_returns_immutable_snapshot():
+    # read() is built from the cached memoryview but must still be a
+    # snapshot: later writes do not alter previously returned bytes.
+    mem = PhysicalMemory(PAGE_SIZE)
+    mem.write(0, b"before")
+    snap = mem.read(0, 6)
+    mem.write(0, b"after!")
+    assert snap == b"before"
+    assert isinstance(snap, bytes)
+
+
+def test_read_view_is_zero_copy_and_readonly():
+    mem = PhysicalMemory(PAGE_SIZE)
+    mem.write(8, b"live")
+    view = mem.read_view(8, 4)
+    assert bytes(view) == b"live"
+    mem.write(8, b"LIVE")
+    assert bytes(view) == b"LIVE"  # aliases live memory
+    with pytest.raises(TypeError):
+        view[0] = 0
+    with pytest.raises(ValueError):
+        mem.read_view(PAGE_SIZE - 1, 2)
