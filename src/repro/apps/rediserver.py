@@ -163,6 +163,11 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
         self, raw: bytes, req_buf: int, resp_buf: int, sockfd: int
     ) -> int:
         """Execute every complete command in ``raw``; returns bytes consumed."""
+        if self._kv is not None and self._kv.supports_async:
+            # Durable deployment over a batched (queue) kv channel:
+            # journal the whole request buffer's SET/DELs in one
+            # doorbell crossing and ack each only on its completion.
+            return self._process_deferred(raw, req_buf, resp_buf, sockfd)
         consumed = 0
         while True:
             newline = raw.find(b"\n", consumed)
@@ -218,6 +223,131 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
             self.responses += 1
         return consumed
 
+    def _process_deferred(
+        self, raw: bytes, req_buf: int, resp_buf: int, sockfd: int
+    ) -> int:
+        """Batched-durability variant of :meth:`_process`.
+
+        Phase 1 parses the buffer and *submits* every SET/DEL journal
+        record onto the kv queue channel without acknowledging anything;
+        one flush then journals the whole pipeline in a single doorbell
+        crossing.  Phase 2 applies commands in order, acking each
+        SET/DEL only if its journal completion came back clean —
+        journal-before-ack, amortised over the request buffer.  A
+        command whose journal op failed is answered ``-ERR`` and its
+        in-memory effect is skipped, so the store never runs ahead of
+        the journal.
+        """
+        consumed = 0
+        staged: list[tuple] = []
+        while True:
+            newline = raw.find(b"\n", consumed)
+            if newline < 0:
+                break
+            line = raw[consumed:newline]
+            if line.startswith(b"SET "):
+                parsed = self._parse_set(line)
+                if parsed is None:
+                    staged.append(("err",))
+                    consumed = newline + 1
+                else:
+                    key, length = parsed
+                    value_start = newline + 1
+                    if value_start + length > len(raw):
+                        break  # value not fully received yet
+                    ticket = None
+                    if length <= KV_MAX_VALUE:
+                        ticket = self._kv.submit(
+                            "put", key, req_buf + value_start, length
+                        )
+                    staged.append(
+                        ("set", ticket, key, req_buf + value_start, length)
+                    )
+                    consumed = value_start + length
+            elif line.startswith(b"GET "):
+                staged.append(("get", line[4:].strip()))
+                consumed = newline + 1
+            elif line.startswith(b"DEL "):
+                key = line[4:].strip()
+                # Journal unconditionally: whether the key exists can
+                # only be decided once earlier staged SETs have applied,
+                # and a tombstone for a missing key is harmless.
+                ticket = self._kv.submit("delete", key)
+                staged.append(("del", ticket, key))
+                consumed = newline + 1
+            elif line.startswith(b"EXISTS "):
+                staged.append(("exists", line[7:].strip()))
+                consumed = newline + 1
+            elif line.startswith(b"INCR "):
+                staged.append(("incr", line[5:].strip()))
+                consumed = newline + 1
+            elif line.startswith(b"APPEND "):
+                parsed = self._parse_set(b"SET " + line[7:])
+                if parsed is None:
+                    staged.append(("err",))
+                    consumed = newline + 1
+                else:
+                    key, length = parsed
+                    value_start = newline + 1
+                    if value_start + length > len(raw):
+                        break  # suffix not fully received yet
+                    staged.append(
+                        ("append", key, req_buf + value_start, length)
+                    )
+                    consumed = value_start + length
+            else:
+                staged.append(("err",))
+                consumed = newline + 1
+        # One doorbell journals every SET/DEL submitted above.
+        self._kv.flush()
+        done = {c.ticket: c for c in self._kv.poll()}
+        for cmd in staged:
+            kind = cmd[0]
+            if kind == "set":
+                _, ticket, key, value_addr, length = cmd
+                completion = done.get(ticket)
+                if ticket is not None and (
+                    completion is None or not completion.ok
+                ):
+                    reply_len = self._reply_error(resp_buf)
+                else:
+                    if ticket is not None:
+                        self.kv_writes += 1
+                    self._apply_set(key, value_addr, length)
+                    reply_len = self._reply_ok(resp_buf)
+            elif kind == "del":
+                _, ticket, key = cmd
+                completion = done.get(ticket)
+                if completion is None or not completion.ok:
+                    reply_len = self._reply_error(resp_buf)
+                else:
+                    self.kv_writes += 1
+                    entry = self._store.pop(key, None)
+                    if entry is not None:
+                        self._alloc.call("free", entry[0])
+                    reply = b":%d\n" % (1 if entry is not None else 0)
+                    self.machine.store(resp_buf, reply)
+                    reply_len = len(reply)
+            elif kind == "get":
+                reply_len = self._do_get(cmd[1], resp_buf)
+            elif kind == "exists":
+                reply_len = self._do_exists(cmd[1], resp_buf)
+            elif kind == "incr":
+                reply_len = self._do_incr(cmd[1], resp_buf)
+            elif kind == "append":
+                _, key, suffix_addr, suffix_len = cmd
+                reply_len = self._do_append(
+                    key, suffix_addr, suffix_len, resp_buf
+                )
+            else:
+                reply_len = self._reply_error(resp_buf)
+            # Per-request reply object, as redis allocates per command.
+            reply_obj = self._alloc.call("malloc", self.REPLY_OBJ_SIZE)
+            self._alloc.call("free", reply_obj)
+            self._net.call("send", sockfd, resp_buf, reply_len)
+            self.responses += 1
+        return consumed
+
     # --- commands ---------------------------------------------------------------
 
     @staticmethod
@@ -242,6 +372,10 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
             # as durable as the kv flush policy promises.
             self._kv.call("put", key, value_addr, length)
             self.kv_writes += 1
+        self._apply_set(key, value_addr, length)
+
+    def _apply_set(self, key: bytes, value_addr: int, length: int) -> None:
+        """In-memory half of SET: copy the value into the private heap."""
         old = self._store.pop(key, None)
         if old is not None:
             self._alloc.call("free", old[0])

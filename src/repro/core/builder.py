@@ -27,11 +27,14 @@ from __future__ import annotations
 
 from repro.core.compatibility import conflict_graph
 from repro.core.coloring import color_classes, minimum_coloring
+import dataclasses
+
 from repro.core.config import (
     FIRST_COMPARTMENT_PKEY,
     SHARED_PKEY,
     STACK_PKEY,
     BuildConfig,
+    parse_queue_policy,
 )
 from repro.core.errors import BuildError
 from repro.core.hardening import LibraryDef, transform_spec
@@ -262,6 +265,19 @@ def build_image(config: BuildConfig) -> Image:
         shared_ranges=tuple(shared_ranges),
     )
 
+    # Group-scoped shared heaps (per-pair shared regions): queue
+    # channels allocate their rings here; installed before linking so
+    # member PKRU updates land before any thread context is created.
+    from repro.libos.alloc.groupheap import GroupSharedHeaps
+
+    machine.group_heaps = GroupSharedHeaps(
+        machine, compartments=compartments, shared_ranges=shared_ranges
+    )
+    queue_policies = {
+        edge: parse_queue_policy(policy)
+        for edge, policy in config.queue_edges.items()
+    }
+
     def connect(caller: MicroLibrary, service: str, target: MicroLibrary) -> None:
         kind = (
             "direct" if target.compartment is caller.compartment else gate_kind
@@ -272,7 +288,21 @@ def build_image(config: BuildConfig) -> Image:
             # operations never cross a VM boundary.  The reproduction
             # keeps one run loop but makes its operations VM-local.
             kind = "direct"
-        channel = make_channel(kind, machine, caller, target, options=options)
+        edge_options = options
+        queue_policy = queue_policies.get(f"{caller.NAME}->{service}")
+        if queue_policy is not None and kind != "direct":
+            # Batched submission/completion rings over the backend
+            # gate: one doorbell crossing per batch instead of one per
+            # call.  Same-compartment edges stay direct — there is no
+            # crossing to amortise.
+            batch, delay_ns = queue_policy
+            kind = f"queue:{kind}"
+            edge_options = dataclasses.replace(
+                options, queue_batch=batch, queue_max_delay_ns=delay_ns
+            )
+        channel = make_channel(
+            kind, machine, caller, target, options=edge_options
+        )
         linker.connect(caller.NAME, service, channel)
 
     for caller in all_instances:

@@ -22,6 +22,39 @@ SCHEDULERS = ("coop", "verified")
 #: Valid compartment failure policies (see repro.libos.compartment).
 FAILURE_POLICIES = ("propagate", "isolate", "restart-with-backoff")
 
+def parse_queue_policy(policy: str) -> tuple[int, float]:
+    """Parse a queue-edge flush policy: ``"batch:N[,delay:NS]"``.
+
+    Returns ``(batch, max_delay_ns)``; ``delay`` defaults to 0 (flush
+    on batch/explicit/sync boundaries only).  Raises
+    :class:`BuildError` on malformed policies so config files fail at
+    validation, not at link time.
+    """
+    batch: int | None = None
+    delay = 0.0
+    for part in policy.split(","):
+        part = part.strip()
+        key, _, value = part.partition(":")
+        try:
+            if key == "batch":
+                batch = int(value)
+            elif key == "delay":
+                delay = float(value)
+            else:
+                raise ValueError(key)
+        except ValueError:
+            raise BuildError(
+                f"malformed queue policy {policy!r}; expected "
+                f"'batch:N[,delay:NS]'"
+            ) from None
+    if batch is None or batch < 1 or delay < 0:
+        raise BuildError(
+            f"malformed queue policy {policy!r}; expected 'batch:N[,delay:NS]' "
+            f"with batch >= 1 and delay >= 0"
+        )
+    return batch, delay
+
+
 #: MPK protection key reserved for the shared-data domain.
 SHARED_PKEY = 14
 #: MPK protection key reserved for the shared stack domain.
@@ -78,6 +111,12 @@ class BuildConfig:
     cost: CostModel | None = None
     rx_batch: int | None = None
     failure_policy: str = "propagate"
+    #: Cross-compartment edges to serve through batched queue channels
+    #: (``"caller->callee"`` → ``"batch:N[,delay:NS]"``).  Each listed
+    #: edge gets an async submission/completion ring pair over the
+    #: image backend (kind ``queue:<backend>``); unlisted edges stay
+    #: synchronous.  Same-compartment edges cannot be queued.
+    queue_edges: dict[str, str] = dataclasses.field(default_factory=dict)
     name: str = ""
 
     def to_dict(self) -> dict:
@@ -103,6 +142,7 @@ class BuildConfig:
             "phys_bytes": self.phys_bytes,
             "rx_batch": self.rx_batch,
             "failure_policy": self.failure_policy,
+            "queue_edges": dict(self.queue_edges),
             "name": self.name,
         }
 
@@ -189,3 +229,15 @@ class BuildConfig:
                 raise BuildError(
                     f"hardening names library {lib!r} not in the image"
                 )
+        for edge, policy in self.queue_edges.items():
+            caller, sep, callee = edge.partition("->")
+            if not sep or not caller or not callee:
+                raise BuildError(
+                    f"malformed queue edge {edge!r}; expected 'caller->callee'"
+                )
+            if caller not in self.all_libraries():
+                raise BuildError(
+                    f"queue edge {edge!r} names library {caller!r} not in "
+                    f"the image"
+                )
+            parse_queue_policy(policy)

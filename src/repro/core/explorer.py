@@ -19,7 +19,7 @@ this).
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.core.coloring import ColoringCache
 from repro.core.errors import CompatibilityError
@@ -141,11 +141,62 @@ SH_TIME_FRACTIONS = {
 SH_TIME_FRACTION_DEFAULT = 0.10
 
 
+def queue_recommendations(
+    profile: "WorkloadProfile",
+    backend: str | None = None,
+    batch: int = 8,
+    min_crossings: int = 64,
+) -> dict[str, dict[str, float]]:
+    """Edges worth converting to queue channels, from a measured profile.
+
+    For every measured caller→callee edge with at least
+    ``min_crossings`` crossings, compares the backend's synchronous
+    per-crossing cost against the amortised cost of a ``queue:<backend>``
+    channel at the given batch size
+    (:func:`repro.gates.registry.relative_crossing_cost`).  Returns the
+    edges where batching wins, keyed ``"caller->callee"`` (the exact
+    form :attr:`repro.core.config.BuildConfig.queue_edges` takes),
+    largest projected saving first.  Empty when the backend has no
+    queue variant (``direct``/``none``: nothing to amortise).
+    """
+    from repro.gates.registry import relative_crossing_cost
+
+    effective_backend = backend if backend is not None else profile.backend
+    if effective_backend in ("none", "direct"):
+        return {}
+    sync_ns = relative_crossing_cost(effective_backend)
+    queued_ns = relative_crossing_cost(
+        f"queue:{effective_backend}", batch=batch
+    )
+    if queued_ns >= sync_ns:
+        return {}
+    rows = []
+    for caller, callee, count in profile.edge_items():
+        if count < min_crossings:
+            continue
+        saved = count * (sync_ns - queued_ns)
+        rows.append(
+            (
+                f"{caller}->{callee}",
+                {
+                    "crossings": float(count),
+                    "sync_ns": sync_ns,
+                    "queued_ns": queued_ns,
+                    "saved_ns": saved,
+                },
+            )
+        )
+    rows.sort(key=lambda row: -row[1]["saved_ns"])
+    return dict(rows)
+
+
 def profiled_cost_fn(
     profile: "WorkloadProfile",
     backend: str | None = None,
     crossing_weight: float = 1.0,
     sh_weight: float = 1.0,
+    queue_edges: Iterable[str | tuple[str, str]] | None = None,
+    queue_batch: int = 8,
 ) -> Callable[[Deployment], float]:
     """Measured-workload cost estimator: profile in, ``perf_fn`` out.
 
@@ -166,6 +217,14 @@ def profiled_cost_fn(
     naming libraries absent from a candidate's coloring contribute
     nothing (they cannot cross a boundary that no longer exists).
 
+    ``queue_edges`` — ``"caller->callee"`` strings (or pairs), the same
+    form as :attr:`repro.core.config.BuildConfig.queue_edges` — marks
+    edges carried by a queue channel: their boundary crossings are
+    charged the amortised ``queue:<backend>`` cost at ``queue_batch``
+    instead of the synchronous cost, so the explorer can trade sync
+    against batched crossings per edge (see
+    :func:`queue_recommendations` for deriving the set from a profile).
+
     The returned callable carries ``profile_hash`` and ``estimator``
     attributes so caching layers can key scores by estimator identity
     (see :func:`repro.core.perfcache.candidate_key`).
@@ -174,6 +233,19 @@ def profiled_cost_fn(
 
     effective_backend = backend if backend is not None else profile.backend
     crossing_ns = relative_crossing_cost(effective_backend)
+    queued: set[tuple[str, str]] = set()
+    if queue_edges and effective_backend not in ("none", "direct"):
+        for edge in queue_edges:
+            if isinstance(edge, str):
+                caller, _, callee = edge.partition("->")
+                queued.add((caller, callee))
+            else:
+                queued.add((edge[0], edge[1]))
+    queue_ns = (
+        relative_crossing_cost(f"queue:{effective_backend}", batch=queue_batch)
+        if queued
+        else 0.0
+    )
     pairs = [
         ((caller, callee), count)
         for caller, callee, count in profile.edge_items()
@@ -183,6 +255,7 @@ def profiled_cost_fn(
     def cost(deployment: Deployment) -> float:
         coloring = deployment.coloring
         boundary_crossings = 0
+        queued_crossings = 0
         for (caller, callee), count in pairs:
             caller_color = coloring.get(caller)
             callee_color = coloring.get(callee)
@@ -191,7 +264,10 @@ def profiled_cost_fn(
                 and callee_color is not None
                 and caller_color != callee_color
             ):
-                boundary_crossings += count
+                if (caller, callee) in queued:
+                    queued_crossings += count
+                else:
+                    boundary_crossings += count
         sh_ns = sum(
             lib_time.get(name, 0.0)
             * sum(
@@ -201,12 +277,16 @@ def profiled_cost_fn(
             for name, techniques in deployment.choices.items()
         )
         return (
-            crossing_weight * boundary_crossings * crossing_ns
+            crossing_weight
+            * (boundary_crossings * crossing_ns + queued_crossings * queue_ns)
             + sh_weight * sh_ns
         )
 
     cost.profile_hash = profile.profile_hash()
     cost.estimator = f"profiled:{cost.profile_hash}:{effective_backend}"
+    if queued:
+        edge_tags = ",".join(sorted(f"{a}->{b}" for a, b in queued))
+        cost.estimator += f":queue[{edge_tags}]@{queue_batch}"
     return cost
 
 

@@ -225,11 +225,16 @@ class Image:
         counts its own invocations.  Sorted busiest-first; unused edges
         are omitted.
         """
+        from repro.gates.guard import GuardedChannel
+
         rows = []
         for (caller, callee), channel in self.linker._channels.items():
-            inner = getattr(channel, "inner", channel)  # unwrap guards
-            crossings = getattr(inner, "crossings", 0)
+            # Unwrap guards only: a queue channel is the edge's real
+            # kind ("queue:mpk-shared"), its crossings the doorbells.
+            while isinstance(channel, GuardedChannel):
+                channel = channel.inner
+            crossings = getattr(channel, "crossings", 0)
             if crossings:
-                rows.append((caller, callee, inner.KIND, crossings))
+                rows.append((caller, callee, channel.KIND, crossings))
         rows.sort(key=lambda row: -row[3])
         return rows

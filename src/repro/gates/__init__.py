@@ -18,22 +18,24 @@ All gates expose the same caller API (via ``Stub``), so swapping the
 isolation backend never changes library code — FlexOS's core claim.
 """
 
-from repro.gates.base import Gate, GateOptions
+from repro.gates.base import Channel, Completion, Gate, GateOptions
 from repro.gates.cheri import CHERIGate
 from repro.gates.funccall import DirectChannel, ProfileChannel
 from repro.gates.guard import GuardedChannel
 from repro.gates.mpk_shared import MPKSharedStackGate
 from repro.gates.mpk_switched import MPKSwitchedStackGate
+from repro.gates.queue import QueueChannel
 from repro.gates.registry import (
     GATE_KINDS,
     make_channel,
-    make_gate,
     relative_crossing_cost,
 )
 from repro.gates.vm_rpc import VMRPCGate
 
 __all__ = [
     "CHERIGate",
+    "Channel",
+    "Completion",
     "DirectChannel",
     "GATE_KINDS",
     "Gate",
@@ -42,8 +44,8 @@ __all__ = [
     "MPKSharedStackGate",
     "MPKSwitchedStackGate",
     "ProfileChannel",
+    "QueueChannel",
     "VMRPCGate",
     "make_channel",
-    "make_gate",
     "relative_crossing_cost",
 ]

@@ -1,4 +1,4 @@
-"""Gate base machinery: entry-point checks, caller-side instrumentation.
+"""Gate base machinery: the Channel ABC and caller-side instrumentation.
 
 Every gate (and the direct-call channel) enforces the micro-library API
 surface: only exported functions can be invoked, so "code execution
@@ -15,18 +15,25 @@ compartment's failure policy asks for it, and crossings into a failed
 compartment fail fast (``isolate``) or revive it after its backoff
 deadline (``restart-with-backoff``).
 
+:class:`Channel` is the interface every inter-library channel
+implements — sync (``invoke``/``invoke_gen``) *and* async
+(``submit``/``poll``/``flush``).  Sync-only channels inherit a default
+``submit`` that degrades to one crossing per operation, so callers
+written against the async surface run unchanged on every backend; the
+queue channel (:mod:`repro.gates.queue`) overrides it to batch many
+submissions into one doorbell crossing.
+
 Construct channels through :func:`repro.gates.registry.make_channel`;
-direct class instantiation is deprecated.
+direct gate instantiation raises :class:`GateError`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import threading
-import warnings
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.libos.library import CallChannelProtocol
+from repro.libos.sched.base import WaitFlush
 from repro.machine.faults import (
     CONTAINABLE_FAULTS,
     CompartmentFailure,
@@ -62,16 +69,189 @@ class GateOptions:
     #: VM-RPC only: multiplier on the timeout charged per retry
     #: (exponential backoff).
     rpc_backoff_factor: float = 2.0
+    #: Queue channels only: submission/completion ring capacity
+    #: (entries).  A full ring forces a flush.
+    queue_depth: int = 64
+    #: Queue channels only: auto-flush (ring the doorbell) once this
+    #: many submissions are pending.
+    queue_batch: int = 8
+    #: Queue channels only: flush-latency bound — the oldest pending
+    #: submission is never delayed past this many simulated ns (0
+    #: disables the deadline; flushes happen on batch/explicit/sync
+    #: boundaries only).
+    queue_max_delay_ns: float = 0.0
 
 
 #: Set while :func:`repro.gates.registry.make_channel` constructs a
-#: gate; direct instantiation outside the factory warns.  Thread-local
-#: because images are built concurrently (measure_many's pool).
+#: gate; direct instantiation outside the factory raises GateError.
+#: Thread-local because images are built concurrently (measure_many's
+#: pool).
 _FACTORY = threading.local()
 
 
-class Gate(CallChannelProtocol):
-    """Common behaviour for every channel implementation.
+def _require_factory(cls: type) -> None:
+    """The factory guard: channels exist only via make_channel."""
+    if not getattr(_FACTORY, "active", False):
+        raise GateError(
+            f"direct instantiation of {cls.__name__} is not supported; "
+            "construct channels via repro.gates.make_channel(kind, ...)"
+        )
+
+
+@dataclasses.dataclass
+class Completion:
+    """One finished submission: its ticket and result (or error).
+
+    ``error`` carries exactly the exception the equivalent sync
+    ``invoke`` would have raised (already translated per the callee's
+    failure policy), so error handling is uniform across delivery
+    styles.
+    """
+
+    ticket: int
+    fn: str
+    value: Any = None
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class Channel:
+    """Interface every inter-library channel implements.
+
+    Sync surface: :meth:`invoke` / :meth:`invoke_gen`.  Async surface:
+    :meth:`submit` / :meth:`poll` / :meth:`flush` / :meth:`close` plus
+    the :meth:`capabilities` query.  The async defaults here degrade to
+    one crossing per operation (``submit`` invokes immediately and the
+    completion is ready at once), so callers written against the async
+    surface never branch on channel kind — a queue channel just makes
+    the same code pay one crossing per batch instead of per op.
+    """
+
+    #: Channel kind identifier ("direct", "mpk-shared", "queue:...").
+    KIND = "abstract"
+    #: True for channels that cross a compartment boundary.
+    IS_BOUNDARY = True
+
+    def __init__(self) -> None:
+        #: Completions ready to be drained by :meth:`poll`.
+        self._completed: list[Completion] = []
+        self._next_ticket = 1
+
+    # --- sync surface -------------------------------------------------------
+
+    def invoke(self, fn: str, args: tuple) -> Any:
+        raise NotImplementedError
+
+    def invoke_gen(self, fn: str, args: tuple) -> Generator:
+        raise NotImplementedError
+
+    # --- async surface ------------------------------------------------------
+
+    def capabilities(self) -> frozenset:
+        """Feature tags of this channel ("sync", "async", ...)."""
+        return frozenset({"sync"})
+
+    @property
+    def supports_async(self) -> bool:
+        """True when submissions are actually deferred and batched."""
+        return "async" in self.capabilities()
+
+    def submit(self, fn: str, *args: Any) -> int:
+        """Enqueue one operation; returns its completion ticket.
+
+        Sync channels execute immediately (one crossing, completion
+        available at once) and raise errors right here, exactly like
+        :meth:`invoke`.  Async channels defer execution to the next
+        flush and deliver errors through the completion instead.
+        """
+        ticket = self._take_ticket()
+        value = self.invoke(fn, args)
+        self._completed.append(Completion(ticket, fn, value=value))
+        return ticket
+
+    def poll(self, max_items: int | None = None) -> list[Completion]:
+        """Drain (up to ``max_items``) ready completions, oldest first."""
+        if max_items is None or max_items >= len(self._completed):
+            drained = self._completed
+            self._completed = []
+            return drained
+        drained = self._completed[:max_items]
+        del self._completed[:max_items]
+        return drained
+
+    def flush(self) -> int:
+        """Force pending submissions through; returns how many flushed.
+
+        Always 0 for sync channels — nothing is ever pending.
+        """
+        return 0
+
+    @property
+    def pending(self) -> int:
+        """Submissions accepted but not yet executed (sync: always 0)."""
+        return 0
+
+    @property
+    def completions_ready(self) -> int:
+        """Completions available to :meth:`poll` right now."""
+        return len(self._completed)
+
+    def flush_deadline_ns(self) -> float | None:
+        """Simulated deadline of the oldest pending submission, if any."""
+        return None
+
+    def flush_if_due(self) -> int:
+        """Flush when the max-delay deadline has passed; ops flushed."""
+        deadline = self.flush_deadline_ns()
+        if deadline is not None and self.machine.cpu.clock_ns >= deadline:
+            return self.flush()
+        return 0
+
+    def bind_scheduler(self, scheduler) -> None:
+        """Attach the scheduler that delivers completion wakeups."""
+
+    def close(self) -> None:
+        """Flush pending work and release channel resources."""
+        self.flush()
+
+    def wait_completions(self, min_count: int = 1) -> Generator:
+        """Blocking helper: drive with ``yield from`` in a thread body.
+
+        Suspends (via the :class:`~repro.libos.sched.base.WaitFlush`
+        directive) until ``min_count`` completions are available, then
+        drains and returns them.  On sync channels completions are
+        ready at submit time, so this returns without suspending; on a
+        queue channel with a max-delay policy the scheduler parks the
+        thread with an ``IdleUntil``-style timer at the flush deadline.
+        """
+        while self.completions_ready < min_count:
+            if not self.pending:
+                raise GateError(
+                    f"waiting for {min_count} completion(s) but only "
+                    f"{self.completions_ready} submitted and none pending"
+                )
+            if self.flush_deadline_ns() is None:
+                # No latency bound to wait out: flush on behalf of the
+                # waiter instead of parking forever.
+                self.flush()
+                continue
+            yield WaitFlush(self)
+            self.flush_if_due()
+        return self.poll(min_count)
+
+    # --- internal -----------------------------------------------------------
+
+    def _take_ticket(self) -> int:
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        return ticket
+
+
+class Gate(Channel):
+    """Common behaviour for every gate-backed channel implementation.
 
     Crossing accounting is unified here: every invocation increments
     the channel's own ``crossings``, its caller→callee edge in the
@@ -81,8 +261,6 @@ class Gate(CallChannelProtocol):
     each gate bumping an ad-hoc subset.
     """
 
-    #: Short backend identifier ("direct", "mpk-shared", ...).
-    KIND = "abstract"
     #: True for channels that cross a compartment boundary; only the
     #: same-compartment DirectChannel clears it.  Boundary channels
     #: count toward ``gate_crossings``, get trace spans, and act as
@@ -99,13 +277,8 @@ class Gate(CallChannelProtocol):
         callee_lib: "MicroLibrary",
         options: GateOptions | None = None,
     ) -> None:
-        if not getattr(_FACTORY, "active", False):
-            warnings.warn(
-                f"direct instantiation of {type(self).__name__} is "
-                "deprecated; use repro.gates.make_channel(kind, ...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+        _require_factory(type(self))
+        super().__init__()
         self.machine = machine
         self.caller_lib = caller_lib
         self.callee_lib = callee_lib
@@ -260,7 +433,71 @@ class Gate(CallChannelProtocol):
     def _exit(self) -> None:
         """Perform/charge the switch back into the caller's domain."""
 
+    def _per_op_enter(self, fn: str, args: tuple) -> None:
+        """Per-operation rearm inside one batched crossing.
+
+        Most backends switch domains once per batch and need nothing
+        here; the CHERI gate overrides it to install each operation's
+        capability delegations on the already-derived context.
+        """
+
     # --- channel interface ---------------------------------------------------------
+
+    def invoke_batch(
+        self, ops: list[tuple[int, str, tuple]]
+    ) -> list[Completion]:
+        """Execute many queued operations under ONE crossing (doorbell).
+
+        ``ops`` is ``[(ticket, fn, args), ...]``.  The gate pays one
+        caller-side charge, one crossing record, and one enter/exit
+        domain switch for the whole batch; each op then dispatches
+        inside the callee's domain.  Crash-mid-batch semantics: an op
+        failing with a containable fault gets the translated
+        :class:`CompartmentFailure` in its completion, every *later* op
+        in the batch is aborted with the same failure (the callee
+        domain is gone), and ops that completed before it keep their
+        results — exactly the state N sync calls would have left behind
+        at the point of the crash.  Under the ``propagate`` policy the
+        raw fault is raised instead (whole-image crash, as sync invoke
+        would).  Ordinary (non-fault) exceptions fail only their own
+        op, as N separate sync calls would.
+        """
+        if not ops:
+            return []
+        handlers = [self._lookup(fn, blocking=False) for _, fn, _ in ops]
+        self._caller_side(ops[0][1])
+        self._check_available()
+        self._record_crossing()
+        started = self._latency_start()
+        traced = self._trace_begin(f"batch[{len(ops)}]")
+        completions: list[Completion] = []
+        # The doorbell payload is one word: the ring tail index.
+        self._enter(ops[0][1], (len(ops),))
+        try:
+            failure: BaseException | None = None
+            for (ticket, fn, args), handler in zip(ops, handlers):
+                if failure is not None:
+                    completions.append(Completion(ticket, fn, error=failure))
+                    continue
+                try:
+                    self._per_op_enter(fn, args)
+                    self._inject(fn)
+                    completions.append(
+                        Completion(ticket, fn, value=handler(*args))
+                    )
+                except CONTAINABLE_FAULTS as exc:
+                    failure = self._contain(exc)
+                    if failure is None:
+                        raise
+                    completions.append(Completion(ticket, fn, error=failure))
+                except Exception as exc:
+                    completions.append(Completion(ticket, fn, error=exc))
+        finally:
+            self._exit()
+            self._latency_end(started)
+            if traced is not None:
+                self._tracer.end()
+        return completions
 
     def invoke(self, fn: str, args: tuple) -> Any:
         handler = self._lookup(fn, blocking=False)

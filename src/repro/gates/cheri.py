@@ -81,6 +81,24 @@ class CHERIGate(Gate):
         context.capabilities = capabilities
         cpu.push_context(context)
 
+    def _per_op_enter(self, fn: str, args: tuple) -> None:
+        """Install one batched op's delegations on the live context.
+
+        A batched crossing (queue channel doorbell) enters the callee
+        domain once with no per-call pointers; each drained submission
+        then delegates its own bounded capabilities here.  Grants
+        accumulate over the batch and are revoked together when the
+        batch context pops — the price of amortising the crossing is a
+        batch-wide (rather than per-call) revocation epoch.
+        """
+        cpu = self.machine.cpu
+        cost = self.machine.cost
+        capabilities = cpu.current.capabilities
+        for addr, size in self._grants_for(fn, args):
+            cpu.charge(cost.cheri_grant_ns)
+            capabilities.grant(addr, size)
+            cpu.bump("cap_grants")
+
     def _exit(self) -> None:
         cpu = self.machine.cpu
         # Popping the context revokes every delegated capability.

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.libos.library import CallChannelProtocol
+from repro.gates.base import Channel
 from repro.machine.faults import BoundaryViolation
 
 if TYPE_CHECKING:
@@ -33,24 +33,35 @@ if TYPE_CHECKING:
     from repro.machine.machine import Machine
 
 
-class GuardedChannel(CallChannelProtocol):
-    """Wraps a channel with the callee's boundary checks."""
+class GuardedChannel(Channel):
+    """Wraps a channel with the callee's boundary checks.
+
+    The async surface (submit/poll/flush/...) passes straight through
+    to the wrapped channel — with the same precondition and pointer
+    checks applied at *submission* time, before an op ever reaches the
+    ring, so a rejected op is never enqueued.
+    """
 
     KIND = "guarded"
 
     def __init__(
         self,
-        inner: CallChannelProtocol,
+        inner: Channel,
         machine: "Machine",
         callee_lib: "MicroLibrary",
         shared_ranges: list[tuple[int, int]],
     ) -> None:
+        super().__init__()
         self.inner = inner
         self.machine = machine
         self.callee_lib = callee_lib
         self.shared_ranges = list(shared_ranges)
         self.checks_performed = 0
         self.rejections = 0
+
+    @property
+    def IS_BOUNDARY(self) -> bool:  # noqa: N802 - mirrors the class attr
+        return self.inner.IS_BOUNDARY
 
     # --- checks -----------------------------------------------------------
 
@@ -95,6 +106,52 @@ class GuardedChannel(CallChannelProtocol):
     def invoke_gen(self, fn: str, args: tuple) -> Generator:
         self._check(fn, args)
         return (yield from self.inner.invoke_gen(fn, args))
+
+    # --- async surface: check at submission, then pass through ----------------
+
+    def capabilities(self) -> frozenset:
+        return self.inner.capabilities()
+
+    def submit(self, fn: str, *args: Any) -> int:
+        self._check(fn, args)
+        return self.inner.submit(fn, *args)
+
+    def poll(self, max_items: int | None = None) -> list:
+        return self.inner.poll(max_items)
+
+    def flush(self) -> int:
+        return self.inner.flush()
+
+    def wait_completions(self, min_count: int = 1) -> Generator:
+        return self.inner.wait_completions(min_count)
+
+    @property
+    def pending(self) -> int:
+        return self.inner.pending
+
+    @property
+    def completions_ready(self) -> int:
+        return self.inner.completions_ready
+
+    @property
+    def completion_waitq(self):
+        return self.inner.completion_waitq
+
+    def flush_deadline_ns(self) -> float | None:
+        return self.inner.flush_deadline_ns()
+
+    def flush_if_due(self) -> int:
+        return self.inner.flush_if_due()
+
+    def bind_scheduler(self, scheduler) -> None:
+        self.inner.bind_scheduler(scheduler)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def crossings(self) -> int:
+        return getattr(self.inner, "crossings", 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"GuardedChannel({self.inner!r})"

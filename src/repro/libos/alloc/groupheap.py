@@ -1,0 +1,181 @@
+"""Group-scoped shared heaps: shared memory visible to a compartment subset.
+
+The paper's data sharing strategies include "shared memory areas" that
+need not be global: under MPK a fresh protection key can tag a region
+only a *named subset* of compartments may touch, and under EPT the
+backend "set[s] up shared memory areas between VMs" — per-pair windows,
+not one world-readable heap.  This module generalises the builder's
+single global shared heap to that model: :meth:`GroupSharedHeaps.get`
+returns (creating on first use) a heap whose pages only the member
+compartments can access.
+
+Per backend:
+
+- **MPK** — the region is tagged with a fresh pkey (descending from the
+  key below the global shared key) and each member's base PKRU value is
+  opened for it, so contexts created afterwards can access the region
+  while non-members still fault.  When the 16-key budget is exhausted
+  the region falls back to the global shared key (scope degrades to
+  world-shared; counted in :attr:`pkey_fallbacks`).
+- **VM/EPT** — the region is a shared window mapped at identical
+  virtual addresses into exactly the member domains.
+- **CHERI** — the region is appended to each member compartment's base
+  capability set, so derived crossing contexts inherit reachability.
+- **none/profile** — a plain mapping (no hardware scoping to apply).
+
+Queue channels (:mod:`repro.gates.queue`) allocate their submission and
+completion rings here so that ring traffic crosses no boundary for
+either endpoint while remaining invisible to third compartments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.libos.alloc.allocator import HeapAllocator
+from repro.machine.faults import GateError
+from repro.machine.mpk import pkru_allow_write
+
+if TYPE_CHECKING:
+    from repro.libos.compartment import Compartment
+    from repro.machine.machine import Machine
+
+
+class GroupHeap:
+    """One group-scoped region plus its allocator and membership."""
+
+    def __init__(
+        self,
+        name: str,
+        machine: "Machine",
+        base: int,
+        size: int,
+        members: tuple["Compartment", ...],
+        pkey: int | None = None,
+    ) -> None:
+        self.name = name
+        self.base = base
+        self.size = size
+        self.members = members
+        #: Protection key tagging the region (MPK builds only).
+        self.pkey = pkey
+        self.allocator = HeapAllocator(name, machine, base, size)
+
+    @property
+    def range(self) -> tuple[int, int]:
+        return (self.base, self.base + self.size)
+
+    def owns(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = "+".join(c.name for c in self.members)
+        return f"GroupHeap({names}, base={self.base:#x}, size={self.size})"
+
+
+class GroupSharedHeaps:
+    """Registry of group-scoped shared heaps, one per member set.
+
+    The builder installs one instance on ``machine.group_heaps``; a
+    queue channel constructed outside the builder creates a default
+    instance lazily.  Heaps are keyed by the member set, so every
+    channel between the same pair of compartments shares one region.
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        compartments: Iterable["Compartment"] | None = None,
+        shared_ranges: list[tuple[int, int]] | None = None,
+        region_size: int = 256 * 1024,
+    ) -> None:
+        self.machine = machine
+        #: All compartments in the image (pkey-budget bookkeeping);
+        #: may be extended lazily as members show up.
+        self.compartments: list["Compartment"] = list(compartments or ())
+        #: The image's live shared-ranges list (API guards + hardening
+        #: consult it); group regions are appended so pointer-provenance
+        #: checks accept ring addresses.  This over-approximates *their*
+        #: view of sharing scope — the hardware scoping above is what
+        #: actually restricts access.
+        self.shared_ranges = shared_ranges
+        self.region_size = region_size
+        self._heaps: dict[frozenset[int], GroupHeap] = {}
+        #: Regions that fell back to the global shared pkey because the
+        #: 16-key MPK budget ran out.
+        self.pkey_fallbacks = 0
+
+    # --- lookup ---------------------------------------------------------------
+
+    def get(self, members: Iterable["Compartment"]) -> GroupHeap:
+        """The group heap for exactly this member set (created lazily)."""
+        members = tuple(dict.fromkeys(members))
+        if not members:
+            raise GateError("group heap needs at least one member compartment")
+        key = frozenset(id(c) for c in members)
+        heap = self._heaps.get(key)
+        if heap is None:
+            heap = self._create(members)
+            self._heaps[key] = heap
+        return heap
+
+    def find(self, addr: int) -> GroupHeap | None:
+        """The group heap owning ``addr``, if any (for free paths)."""
+        for heap in self._heaps.values():
+            if heap.owns(addr):
+                return heap
+        return None
+
+    @property
+    def regions(self) -> list[GroupHeap]:
+        """All group heaps created so far (report introspection)."""
+        return list(self._heaps.values())
+
+    # --- creation -------------------------------------------------------------
+
+    def _create(self, members: tuple["Compartment", ...]) -> GroupHeap:
+        machine = self.machine
+        for member in members:
+            if member not in self.compartments:
+                self.compartments.append(member)
+        name = "gheap:" + "+".join(c.name for c in members)
+        pkey: int | None = None
+        if all(c.vm_domain is not None for c in members):
+            base = machine.map_shared_window(
+                [c.vm_domain for c in members], self.region_size
+            )
+        elif any(c.pkey for c in members):
+            pkey = self._alloc_pkey()
+            base = members[0].address_space.map_new(self.region_size, pkey=pkey)
+            for member in members:
+                member.pkru_value = pkru_allow_write(member.pkru_value, pkey)
+        else:
+            base = members[0].address_space.map_new(self.region_size)
+        region = (base, base + self.region_size)
+        for member in members:
+            if member.capabilities is not None:
+                # Mutating the base set's list means future derive()s
+                # (per-crossing contexts) inherit reachability.
+                member.capabilities.shared_ranges.append(region)
+        if self.shared_ranges is not None and region not in self.shared_ranges:
+            self.shared_ranges.append(region)
+        return GroupHeap(name, machine, base, self.region_size, members, pkey)
+
+    def _alloc_pkey(self) -> int:
+        """A fresh protection key below the global shared key.
+
+        Falls back to the global shared key when all 16 are spoken for
+        — scoping degrades, the image still works.
+        """
+        from repro.core.config import SHARED_PKEY, STACK_PKEY
+
+        used = {c.pkey for c in self.compartments}
+        used.update({0, SHARED_PKEY, STACK_PKEY})
+        used.update(
+            h.pkey for h in self._heaps.values() if h.pkey is not None
+        )
+        for key in range(SHARED_PKEY - 1, 0, -1):
+            if key not in used:
+                return key
+        self.pkey_fallbacks += 1
+        return SHARED_PKEY

@@ -27,8 +27,9 @@ class AllocLibrary(MicroLibrary):
     SPEC = """
     [Memory access] Read(Own,Shared); Write(Own,Shared)
     [Call]
-    [API] malloc(size); free(addr); malloc_shared(size); free_shared(addr); \
-malloc_shared_many(size, count); free_shared_many(addrs); heap_stats()
+    [API] malloc(size); free(addr); malloc_shared(size, scope=None); \
+free_shared(addr); malloc_shared_many(size, count); free_shared_many(addrs); \
+heap_stats()
     [Requires] *(Read,Own), *(Write,Shared), *(Call, malloc), *(Call, free), \
 *(Call, malloc_shared), *(Call, free_shared), *(Call, malloc_shared_many), \
 *(Call, free_shared_many), *(Call, heap_stats)
@@ -66,13 +67,39 @@ malloc_shared_many(size, count); free_shared_many(addrs); heap_stats()
         self._private_heap().free(addr)
 
     @export
-    def malloc_shared(self, size: int) -> int:
-        """Allocate from the shared heap (cross-compartment data)."""
-        return self._shared_heap().malloc(size)
+    def malloc_shared(self, size: int, scope=None) -> int:
+        """Allocate from the shared heap (cross-compartment data).
+
+        With ``scope`` — an iterable of compartment names — the block
+        comes from the group heap visible to exactly the caller's
+        compartment plus the named ones (the paper's per-pair shared
+        memory areas, rather than one world-readable heap).
+        """
+        if scope is None:
+            return self._shared_heap().malloc(size)
+        heaps = getattr(self.machine, "group_heaps", None)
+        if heaps is None:
+            raise GateError(f"{self.NAME}: no group heaps on this machine")
+        by_name = {c.name: c for c in heaps.compartments}
+        members = [self.compartment]
+        for name in scope:
+            member = by_name.get(name)
+            if member is None:
+                raise GateError(
+                    f"{self.NAME}: unknown compartment {name!r} in scope"
+                )
+            members.append(member)
+        return heaps.get(members).allocator.malloc(size)
 
     @export
     def free_shared(self, addr: int) -> None:
-        """Free a shared-heap block."""
+        """Free a shared-heap block (global or group-scoped)."""
+        heaps = getattr(self.machine, "group_heaps", None)
+        if heaps is not None:
+            group = heaps.find(addr)
+            if group is not None:
+                group.allocator.free(addr)
+                return
         self._shared_heap().free(addr)
 
     @export

@@ -145,12 +145,20 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
     HINT_SECTORS = 16
     #: Sealed-slot count that triggers an automatic merge on seal.
     COMPACT_THRESHOLD = 5
+    #: Write staging buffers cycled by the append path.  Each in-flight
+    #: ``blk_write`` submission holds one buffer until the channel
+    #: flushes, so with a batched (queue) blk channel the ring lets a
+    #: whole batch stay queued without any buffer being rewritten under
+    #: a pending submission.
+    STAGING_BUFS = 16
 
     def __init__(self) -> None:
         super().__init__()
         self._blk = None
         self._alloc = None
-        self._staging = 0  # shared sector buffer for the blk gate
+        self._staging = 0  # shared sector buffer for blk *reads*
+        self._write_bufs: list[int] = []  # staging ring for blk writes
+        self._write_seq = 0
         self._open = False
         self._keydir: dict[bytes, _KeyDirEntry] = {}
         #: Append-order record metadata per live slot (hint source):
@@ -201,12 +209,44 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
             self._staging = self._alloc.call("malloc_shared", SECTOR_SIZE)
         return self._staging
 
+    def _next_write_buf(self) -> int:
+        index = self._write_seq % self.STAGING_BUFS
+        self._write_seq += 1
+        if index == len(self._write_bufs):
+            self._write_bufs.append(
+                self._alloc.call("malloc_shared", SECTOR_SIZE)
+            )
+        return self._write_bufs[index]
+
+    def _drain_blk(self) -> None:
+        """Flush queued writes and surface any deferred write error.
+
+        On a synchronous blk channel submissions executed (and raised)
+        immediately, so this just empties the completion list; on a
+        queue channel it rings the doorbell and re-raises the first
+        failed write — the error a sync ``blk_write`` call would have
+        raised at append time.
+        """
+        self._blk.flush()
+        errors = [c.error for c in self._blk.poll() if c.error is not None]
+        if errors:
+            raise errors[0]
+
+    def _blk_flush(self) -> None:
+        """Drain queued writes, then issue the device flush barrier."""
+        self._drain_blk()
+        self._blk.call("blk_flush")
+
     def _write_sector(self, sector: int, payload: bytes) -> None:
         if len(payload) < SECTOR_SIZE:
             payload = payload + b"\x00" * (SECTOR_SIZE - len(payload))
-        buf = self._buf()
+        if self._blk.pending >= self.STAGING_BUFS:
+            # Every staging buffer is referenced by an in-flight
+            # submission; executing them releases the ring.
+            self._drain_blk()
+        buf = self._next_write_buf()
         self.machine.store(buf, payload)
-        self._blk.call("blk_write", sector, buf)
+        self._blk.submit("blk_write", sector, buf)
 
     def _read_sector(self, sector: int) -> bytes:
         buf = self._buf()
@@ -515,7 +555,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
     def _barrier(self) -> None:
         """Flush barrier: everything appended so far becomes durable."""
         self._pad_to_sector()
-        self._blk.call("blk_flush")
+        self._blk_flush()
         self._durable_seq = self._seq
         self._unflushed = 0
 
@@ -549,7 +589,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
         self._append_offset = 0
         self._tail = bytearray()
         self._commit_manifest()
-        self._blk.call("blk_flush")
+        self._blk_flush()
 
     def _seal_slot_metadata(self) -> None:
         """Persist the active slot's tail and hint (pre-seal step)."""
@@ -574,7 +614,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
         self._append_offset = 0
         self._tail = bytearray()
         self._commit_manifest()
-        self._blk.call("blk_flush")
+        self._blk_flush()
         self._durable_seq = self._seq
         self._unflushed = 0
 
@@ -610,7 +650,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
     def _merge(self) -> dict:
         """Merge live records into free slots; atomic manifest commit."""
         self._flush_tail()
-        self._blk.call("blk_flush")
+        self._blk_flush()
         free = [
             slot
             for slot in range(self.NUM_SLOTS)
@@ -651,7 +691,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
             new_records[slot] = entries
         for slot, image, entries in images[:-1]:
             self._write_hint(slot, entries)
-        self._blk.call("blk_flush")
+        self._blk_flush()
         # The merged data is durable but unreferenced until the
         # manifest commit below — the armed crash-mid-compaction site
         # fires exactly here, and recovery must fall back to the old
@@ -671,7 +711,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
         # never rewrite a sector holding (flushed) merged records.
         self._pad_to_sector()
         self._commit_manifest()
-        self._blk.call("blk_flush")
+        self._blk_flush()
         self._durable_seq = self._seq
         self._unflushed = 0
         # Rebuild the keydir against the merged locations.

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Callable, Generator, Iterator
 from repro.machine.faults import GateError
 
 if TYPE_CHECKING:
+    from repro.gates.base import Channel
     from repro.libos.compartment import Compartment
     from repro.machine.machine import Machine
 
@@ -143,11 +144,14 @@ class Stub:
 
     ``call`` runs a plain export synchronously; ``call_gen`` returns a
     generator for a blocking export and must be driven with ``yield
-    from``.  The channel behind the stub decides what a call costs and
-    which protection-domain switch it performs.
+    from``.  The async surface (``submit``/``poll``/``flush``) passes
+    through to the channel — on sync channels ``submit`` executes
+    immediately, on a queue channel it batches, so caller code is
+    identical either way.  The channel behind the stub decides what a
+    call costs and which protection-domain switch it performs.
     """
 
-    def __init__(self, channel: "CallChannelProtocol") -> None:
+    def __init__(self, channel: "Channel") -> None:
         self._channel = channel
 
     def call(self, fn: str, *args: Any) -> Any:
@@ -158,15 +162,36 @@ class Stub:
         """Invoke a blocking export; drive with ``yield from``."""
         return self._channel.invoke_gen(fn, args)
 
+    def submit(self, fn: str, *args: Any) -> int:
+        """Enqueue a plain export; returns its completion ticket."""
+        return self._channel.submit(fn, *args)
 
-class CallChannelProtocol:
-    """Interface every channel (direct call or gate) implements."""
+    def poll(self, max_items: int | None = None) -> list:
+        """Drain ready completions from the channel."""
+        return self._channel.poll(max_items)
 
-    def invoke(self, fn: str, args: tuple) -> Any:
-        raise NotImplementedError
+    def flush(self) -> int:
+        """Force pending submissions through (ring the doorbell)."""
+        return self._channel.flush()
 
-    def invoke_gen(self, fn: str, args: tuple) -> Generator:
-        raise NotImplementedError
+    def wait_completions(self, min_count: int = 1) -> Generator:
+        """Blocking completion wait; drive with ``yield from``."""
+        return self._channel.wait_completions(min_count)
+
+    @property
+    def pending(self) -> int:
+        """Submissions not yet executed (0 on sync channels)."""
+        return self._channel.pending
+
+    @property
+    def supports_async(self) -> bool:
+        """True when the channel actually defers and batches."""
+        return self._channel.supports_async
+
+    @property
+    def channel(self) -> "Channel":
+        """The underlying channel (introspection/tests)."""
+        return self._channel
 
 
 class Linker:
@@ -180,10 +205,10 @@ class Linker:
     """
 
     def __init__(self) -> None:
-        self._channels: dict[tuple[str, str], CallChannelProtocol] = {}
+        self._channels: dict[tuple[str, str], "Channel"] = {}
 
     def connect(
-        self, caller: str, callee: str, channel: CallChannelProtocol
+        self, caller: str, callee: str, channel: "Channel"
     ) -> None:
         """Register the channel used when ``caller`` calls ``callee``."""
         self._channels[(caller, callee)] = channel

@@ -291,25 +291,66 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
         start_ns = self.machine.cpu.clock_ns
         self.charge(cost.sock_op_ns)
         offset = 0
-        while offset < size:
-            chunk = min(MSS, size - offset)
-            mbuf = self._mbuf_get()
-            header = Header(
-                src_port=conn.port,
-                dst_port=conn.peer_port,
-                seq=conn.seq_out,
-                ack=0,
-                length=chunk,
-                flags=0,
-            )
-            self.machine.store(mbuf, pack_header(header))
-            if chunk:
-                self._libc.call("memcpy", mbuf + HEADER_SIZE, buf_addr + offset, chunk)
-            self.charge(cost.pkt_fixed_ns + chunk * cost.pkt_byte_ns)
-            self.nic.tx(mbuf, HEADER_SIZE + chunk)
-            self._mbuf_put(mbuf)
-            conn.seq_out += chunk
-            offset += chunk
+        if self._libc.supports_async:
+            # Batched segmentation: queue every segment's payload copy
+            # on the LibC channel (one doorbell crossing per batch
+            # instead of one gate crossing per MSS), then hand the
+            # fully-built segments to the NIC.  Segments reach the wire
+            # only after their copies completed.
+            segments = []
+            seq_cursor = conn.seq_out
+            while offset < size:
+                chunk = min(MSS, size - offset)
+                mbuf = self._mbuf_get()
+                header = Header(
+                    src_port=conn.port,
+                    dst_port=conn.peer_port,
+                    seq=seq_cursor,
+                    ack=0,
+                    length=chunk,
+                    flags=0,
+                )
+                self.machine.store(mbuf, pack_header(header))
+                if chunk:
+                    self._libc.submit(
+                        "memcpy", mbuf + HEADER_SIZE, buf_addr + offset, chunk
+                    )
+                segments.append((mbuf, chunk))
+                seq_cursor += chunk
+                offset += chunk
+            self._libc.flush()
+            errors = [
+                c.error for c in self._libc.poll() if c.error is not None
+            ]
+            if errors:
+                raise errors[0]
+            for mbuf, chunk in segments:
+                self.charge(cost.pkt_fixed_ns + chunk * cost.pkt_byte_ns)
+                self.nic.tx(mbuf, HEADER_SIZE + chunk)
+                self._mbuf_put(mbuf)
+                conn.seq_out += chunk
+        else:
+            while offset < size:
+                chunk = min(MSS, size - offset)
+                mbuf = self._mbuf_get()
+                header = Header(
+                    src_port=conn.port,
+                    dst_port=conn.peer_port,
+                    seq=conn.seq_out,
+                    ack=0,
+                    length=chunk,
+                    flags=0,
+                )
+                self.machine.store(mbuf, pack_header(header))
+                if chunk:
+                    self._libc.call(
+                        "memcpy", mbuf + HEADER_SIZE, buf_addr + offset, chunk
+                    )
+                self.charge(cost.pkt_fixed_ns + chunk * cost.pkt_byte_ns)
+                self.nic.tx(mbuf, HEADER_SIZE + chunk)
+                self._mbuf_put(mbuf)
+                conn.seq_out += chunk
+                offset += chunk
         tracer = self.machine.obs.tracer
         if tracer.enabled:
             tracer.complete(

@@ -54,6 +54,24 @@ class Block:
 
 
 @dataclasses.dataclass
+class WaitFlush:
+    """Directive: park until ``channel`` delivers async completions.
+
+    Yielded (via ``Channel.wait_completions``) by a thread awaiting
+    queue-channel completions.  The scheduler parks the thread on the
+    channel's completion wait queue and — when the channel has a
+    max-delay flush policy — arms an internal timer at the flush
+    deadline, reusing the :class:`IdleUntil` timer parking: once
+    nothing else is runnable, the tickless-idle branch jumps the clock
+    straight to the deadline, the timer fires, and the woken thread
+    flushes the ring itself.  A flush performed by any other thread
+    wakes the completion queue early.
+    """
+
+    channel: object
+
+
+@dataclasses.dataclass
 class IdleUntil:
     """Directive: sleep until the simulated clock reaches a deadline.
 

@@ -20,6 +20,7 @@ from repro.libos.sched.base import (
     IdleUntil,
     Thread,
     ThreadState,
+    WaitFlush,
     WaitQueue,
     Yield,
 )
@@ -339,6 +340,35 @@ thread_join(tid)
                         self._timers,
                         (deadline, self._timer_seq, thread.idle_waitq),
                     )
+            elif isinstance(directive, WaitFlush):
+                channel = directive.channel
+                # First wait binds the scheduler so flushes performed by
+                # other threads can wake the completion queue early.
+                channel.bind_scheduler(self)
+                if channel.completions_ready or not channel.pending:
+                    # Nothing to sleep for (completions ready, or the
+                    # wait raced with a flush): stay runnable.
+                    thread.state = ThreadState.READY
+                    self.run_queue.append(thread)
+                else:
+                    self.charge(self.machine.cost.waitq_op_ns)
+                    waitq = channel.completion_waitq
+                    thread.state = ThreadState.BLOCKED
+                    thread.waitq = waitq
+                    waitq.park(thread)
+                    deadline = channel.flush_deadline_ns()
+                    if deadline is not None:
+                        # IdleUntil-style timer parking at the flush
+                        # deadline; the woken thread flushes the ring.
+                        self._timer_seq += 1
+                        heapq.heappush(
+                            self._timers,
+                            (
+                                max(deadline, cpu.clock_ns),
+                                self._timer_seq,
+                                waitq,
+                            ),
+                        )
             else:
                 raise GateError(
                     f"thread {thread.name} yielded invalid directive "

@@ -75,6 +75,10 @@ class Machine:
         #: notifications) consult it only when armed; the common path
         #: pays a single attribute check.
         self.injector = None
+        #: Group-scoped shared heap registry (see
+        #: :mod:`repro.libos.alloc.groupheap`); installed by the builder
+        #: or lazily by the first queue channel that needs ring memory.
+        self.group_heaps = None
 
     @property
     def cost(self) -> CostModel:

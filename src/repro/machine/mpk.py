@@ -62,6 +62,18 @@ def pkru_for_keys(
     return value
 
 
+def pkru_allow_write(pkru: int, key: int) -> int:
+    """Grant read+write on ``key`` in an existing PKRU value.
+
+    Used when a compartment is linked into a group-scoped shared region
+    after its base PKRU was computed (e.g. a queue channel's rings): the
+    region's fresh key is opened up without touching any other key's
+    bits.
+    """
+    _check_key(key)
+    return pkru & ~((_AD | _WD) << (2 * key))
+
+
 def pkru_readable(pkru: int, key: int) -> bool:
     """True if the PKRU value permits loads from pages tagged ``key``."""
     _check_key(key)

@@ -22,7 +22,9 @@ across all isolation backends and prints the site × backend
 containment matrix (see :mod:`repro.resilience`); ``--recovery`` does
 the same for the storage power-failure sites and prints the recovery
 verdict matrix (does a durable redis deployment lose acknowledged
-writes after crash + reboot?).
+writes after crash + reboot?).  ``--queue`` summarizes queue-channel
+activity — submissions, doorbells per op, batch-size and ring-depth
+distributions — for configs with ``queue_edges``.
 """
 
 from __future__ import annotations
@@ -148,7 +150,9 @@ def collect_recovery(seed: int = 0, schedules: int = 1) -> dict:
     }
 
 
-def render_text(data: dict, show_machine: bool = False) -> str:
+def render_text(
+    data: dict, show_machine: bool = False, show_queue: bool = False
+) -> str:
     """The human-readable report (the original format)."""
     lines = [
         "== Layout ==",
@@ -202,6 +206,48 @@ def render_text(data: dict, show_machine: bool = False) -> str:
         for site, row in sorted(recovery["matrix"].items()):
             cells = "".join(f"{row.get(b, '-'):>16s}" for b in backends)
             lines.append(f"  {site:22s}{cells}")
+
+    if show_queue:
+        metrics = data.get("metrics", {})
+        counters = metrics.get("counters", {})
+        histograms = metrics.get("histograms", {})
+        submitted = counters.get("queue.submitted", 0)
+        doorbells = counters.get("queue.doorbells", 0)
+        completions = counters.get("queue.completions", 0)
+        lines += ["", "== Queue channels =="]
+        if not submitted:
+            lines.append(
+                "  no queue-channel traffic (config has no queue_edges?)"
+            )
+        else:
+            lines.append(
+                f"  submitted {submitted}, doorbells {doorbells}, "
+                f"completions {completions}"
+            )
+            if doorbells:
+                lines.append(
+                    f"  doorbells per op: {doorbells / submitted:.3f} "
+                    f"(amortisation x{submitted / doorbells:.1f})"
+                )
+            batch = histograms.get("queue.batch_size", {})
+            depth = histograms.get("queue.ring_depth", {})
+            if batch.get("count"):
+                lines.append(
+                    f"  batch size: mean {batch['mean']:.1f}, "
+                    f"p50 {batch['p50']:.0f}, max {batch['max']:.0f}"
+                )
+            if depth.get("count"):
+                lines.append(
+                    f"  ring depth at submit: mean {depth['mean']:.1f}, "
+                    f"p90 {depth['p90']:.0f}, max {depth['max']:.0f}"
+                )
+            for row in data.get("crossings", []):
+                if row["kind"].startswith("queue:"):
+                    lines.append(
+                        f"  edge {row['caller']} -> {row['callee']} "
+                        f"[{row['kind']}]: {row['crossings']} crossings "
+                        f"(doorbells + sync calls)"
+                    )
 
     machine = data.get("machine")
     if machine and show_machine:
@@ -305,6 +351,12 @@ def main(argv: list[str] | None = None) -> int:
         "the blk/kv sites) and report the recovery verdict matrix",
     )
     parser.add_argument(
+        "--queue",
+        action="store_true",
+        help="also summarize queue-channel activity (submissions, "
+        "doorbells per op, batch-size and ring-depth distributions)",
+    )
+    parser.add_argument(
         "--machine",
         action="store_true",
         help="also summarize the simulation fast path (software-TLB "
@@ -328,7 +380,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         print(json.dumps(data, indent=2, sort_keys=True))
     else:
-        print(render_text(data, show_machine=args.machine))
+        print(render_text(data, show_machine=args.machine, show_queue=args.queue))
     return 0
 
 

@@ -1,0 +1,230 @@
+"""Channel-protocol conformance: every kind honours one contract.
+
+Parametrized over every channel kind (sync backends plus their
+``queue:`` variants) × {plain, guarded, profiled} wrappers, asserting:
+
+- ``invoke``/``submit`` equivalence (same values, uniform Completion
+  shape, tickets line up);
+- crossing accounting (sync: one crossing per submitted op; queue: one
+  doorbell per batch);
+- fault translation parity (a containable callee fault surfaces as the
+  same ``CompartmentFailure`` whether delivered by raise or by
+  completion; ordinary exceptions fail only their own op; unknown
+  exports are rejected at submission time on every kind).
+"""
+
+import pytest
+
+from repro.gates import GateOptions, make_channel
+from repro.libos.compartment import Compartment
+from repro.libos.library import Linker, MicroLibrary, export
+from repro.machine.capabilities import base_capabilities
+from repro.machine.faults import (
+    CompartmentFailure,
+    GateError,
+    ProtectionFault,
+)
+from repro.machine.machine import Machine
+from repro.machine.mpk import pkru_for_keys
+
+SYNC_KINDS = [
+    "direct",
+    "profile",
+    "mpk-shared",
+    "mpk-switched",
+    "vm-rpc",
+    "cheri",
+]
+QUEUE_KINDS = [
+    "queue:profile",
+    "queue:mpk-shared",
+    "queue:mpk-switched",
+    "queue:vm-rpc",
+    "queue:cheri",
+]
+ALL_KINDS = SYNC_KINDS + QUEUE_KINDS
+VARIANTS = ["plain", "guarded", "profiled"]
+
+
+class ServiceLibrary(MicroLibrary):
+    NAME = "service"
+    SPEC = "[Memory access] Read(Own); Write(Own)"
+
+    @export
+    def double(self, value):
+        return 2 * value
+
+    @export
+    def fail(self):
+        raise RuntimeError("service exploded")
+
+    @export
+    def fault(self):
+        raise ProtectionFault(0xDEAD, "write", detail="synthetic")
+
+
+class ClientLibrary(MicroLibrary):
+    NAME = "client"
+    SPEC = "[Memory access] Read(Own); Write(Own)"
+
+
+def make_world(kind):
+    """A two-compartment world able to host channels of ``kind``."""
+    base = kind.split(":", 1)[1] if kind.startswith("queue:") else kind
+    machine = Machine()
+    linker = Linker()
+    comp_a = Compartment(0, "service-comp", machine)
+    comp_b = Compartment(1, "client-comp", machine)
+    if base == "vm-rpc":
+        domain_a = machine.new_vm_domain("a")
+        comp_a.vm_domain = domain_a
+        comp_a.address_space = domain_a.space
+        domain_b = machine.new_vm_domain("b")
+        comp_b.vm_domain = domain_b
+        comp_b.address_space = domain_b.space
+    elif base == "cheri":
+        space = machine.new_address_space("main")
+        comp_a.address_space = space
+        comp_b.address_space = space
+    else:
+        space = machine.new_address_space("main")
+        comp_a.address_space = space
+        comp_a.pkey = 1
+        comp_a.pkru_value = pkru_for_keys(writable=[1, 14])
+        comp_b.address_space = space
+        comp_b.pkey = 2
+        comp_b.pkru_value = pkru_for_keys(writable=[2, 14])
+    service = ServiceLibrary()
+    client = ClientLibrary()
+    service.install(machine, comp_a, linker)
+    client.install(machine, comp_b, linker)
+    if base == "cheri":
+        comp_a.capabilities = base_capabilities(comp_a, [])
+        comp_b.capabilities = base_capabilities(comp_b, [])
+    return machine, service, client
+
+
+def make_conforming(kind, variant):
+    """(machine, channel) for one matrix cell, caller context pushed.
+
+    The channel is created *before* the caller context is pushed so
+    group-heap side effects (fresh pkeys opened in member PKRU values)
+    are visible to the context — the same ordering the builder uses
+    (link first, spawn threads later).
+    """
+    machine, service, client = make_world(kind)
+    options = GateOptions(api_guards=(variant == "guarded"))
+    channel = make_channel(kind, machine, client, service, options=options)
+    if variant == "profiled":
+        machine.cpu.metrics.record_edge_latency = True
+    machine.cpu.push_context(client.compartment.make_context("client"))
+    return machine, channel
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_invoke_returns_value(kind, variant):
+    _, channel = make_conforming(kind, variant)
+    assert channel.invoke("double", (21,)) == 42
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_submit_matches_invoke(kind, variant):
+    """submit → flush → poll returns what invoke returns, uniformly."""
+    _, channel = make_conforming(kind, variant)
+    expected = channel.invoke("double", (21,))
+    ticket = channel.submit("double", 21)
+    channel.flush()
+    completions = channel.poll()
+    assert len(completions) == 1
+    completion = completions[0]
+    assert completion.ok
+    assert completion.value == expected == 42
+    assert completion.ticket == ticket
+    assert completion.fn == "double"
+    assert channel.completions_ready == 0
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_crossing_accounting(kind, variant):
+    """Sync: a crossing per op.  Queue: one doorbell per batch."""
+    _, channel = make_conforming(kind, variant)
+    before = channel.crossings
+    for value in (1, 2, 3):
+        channel.submit("double", value)
+    if kind.startswith("queue:"):
+        assert channel.crossings == before  # nothing flushed yet
+        assert channel.pending == 3
+        assert channel.flush() == 3
+        assert channel.crossings == before + 1  # ONE doorbell
+    else:
+        assert channel.pending == 0
+        assert channel.crossings == before + 3
+        assert channel.flush() == 0
+    assert [c.value for c in channel.poll()] == [2, 4, 6]
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_capabilities_reflect_delivery(kind, variant):
+    _, channel = make_conforming(kind, variant)
+    caps = channel.capabilities()
+    assert "sync" in caps
+    if kind.startswith("queue:"):
+        assert "async" in caps and channel.supports_async
+    else:
+        assert "async" not in caps and not channel.supports_async
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_ordinary_error_surface(kind, variant):
+    """Sync submit raises like invoke; queue delivers via Completion."""
+    _, channel = make_conforming(kind, variant)
+    with pytest.raises(RuntimeError, match="service exploded"):
+        channel.invoke("fail", ())
+    if channel.supports_async:
+        ticket = channel.submit("fail")
+        channel.flush()
+        (completion,) = channel.poll()
+        assert completion.ticket == ticket and not completion.ok
+        assert isinstance(completion.error, RuntimeError)
+    else:
+        with pytest.raises(RuntimeError, match="service exploded"):
+            channel.submit("fail")
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_unknown_export_rejected_at_submit(kind, variant):
+    _, channel = make_conforming(kind, variant)
+    with pytest.raises(GateError, match="no export"):
+        channel.submit("not_an_export")
+    assert channel.pending == 0
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("kind", [k for k in ALL_KINDS if k != "direct"])
+def test_fault_translation_parity(kind, variant):
+    """Containable faults become the same CompartmentFailure either way.
+
+    (``direct`` is excluded: a same-compartment channel is no
+    containment boundary, so the raw fault propagates by design.)
+    """
+    machine, channel = make_conforming(kind, variant)
+    channel.callee_lib.compartment.failure_policy = "isolate"
+    if channel.supports_async:
+        ticket = channel.submit("fault")
+        channel.flush()
+        (completion,) = channel.poll()
+        assert completion.ticket == ticket
+        error = completion.error
+    else:
+        with pytest.raises(CompartmentFailure) as excinfo:
+            channel.invoke("fault", ())
+        error = excinfo.value
+    assert isinstance(error, CompartmentFailure)
+    assert isinstance(error.cause, ProtectionFault)
+    assert channel.callee_lib.compartment.failed

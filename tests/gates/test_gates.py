@@ -6,7 +6,6 @@ from repro.gates import (
     GATE_KINDS,
     GateOptions,
     make_channel,
-    make_gate,
 )
 from repro.gates.mpk_shared import MPKSharedStackGate
 from repro.libos.compartment import Compartment
@@ -241,12 +240,13 @@ def test_make_channel_wraps_boundary_with_guards():
     assert type(direct).__name__ == "DirectChannel"
 
 
-def test_direct_instantiation_is_deprecated():
+def test_direct_instantiation_raises():
     machine, service, client = make_world()
-    with pytest.warns(DeprecationWarning, match="make_channel"):
+    with pytest.raises(GateError, match="make_channel"):
         MPKSharedStackGate(machine, client, service)
-    with pytest.warns(DeprecationWarning, match="make_channel"):
-        make_gate("mpk-shared", machine, client, service)
+    assert not hasattr(
+        __import__("repro.gates", fromlist=["gates"]), "make_gate"
+    )
 
 
 def test_make_channel_emits_no_deprecation_warning(recwarn):
