@@ -140,6 +140,12 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
             resp_buf = self._alloc.call("malloc_shared", self.BUF_SIZE)
             self.running = True
             pending = 0
+            # Durable deployment over a batched (queue) kv channel:
+            # journal the whole request buffer's SET/DELs in one
+            # doorbell crossing and ack each only on its completion.
+            # The deferred variant is a generator — it parks on the kv
+            # channel's completion queue instead of forcing the flush.
+            deferred = self._kv is not None and self._kv.supports_async
             while True:
                 count = yield from self._net.call_gen(
                     "recv", sockfd, req_buf + pending, self.BUF_SIZE - pending
@@ -148,7 +154,12 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
                     break
                 total = pending + count
                 raw = self.machine.load(req_buf, total)
-                consumed = self._process(raw, req_buf, resp_buf, sockfd)
+                if deferred:
+                    consumed = yield from self._process_deferred(
+                        raw, req_buf, resp_buf, sockfd
+                    )
+                else:
+                    consumed = self._process(raw, req_buf, resp_buf, sockfd)
                 if consumed < total:
                     # Shift the partial trailing command to the front.
                     self.machine.copy(req_buf, req_buf + consumed, total - consumed)
@@ -163,11 +174,6 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
         self, raw: bytes, req_buf: int, resp_buf: int, sockfd: int
     ) -> int:
         """Execute every complete command in ``raw``; returns bytes consumed."""
-        if self._kv is not None and self._kv.supports_async:
-            # Durable deployment over a batched (queue) kv channel:
-            # journal the whole request buffer's SET/DELs in one
-            # doorbell crossing and ack each only on its completion.
-            return self._process_deferred(raw, req_buf, resp_buf, sockfd)
         consumed = 0
         while True:
             newline = raw.find(b"\n", consumed)
@@ -225,13 +231,17 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
 
     def _process_deferred(
         self, raw: bytes, req_buf: int, resp_buf: int, sockfd: int
-    ) -> int:
-        """Batched-durability variant of :meth:`_process`.
+    ) -> Generator:
+        """Batched-durability variant of :meth:`_process` (a generator).
 
         Phase 1 parses the buffer and *submits* every SET/DEL journal
-        record onto the kv queue channel without acknowledging anything;
-        one flush then journals the whole pipeline in a single doorbell
-        crossing.  Phase 2 applies commands in order, acking each
+        record onto the kv queue channel without acknowledging anything.
+        Phase 2 waits for every journal completion — wake-driven: the
+        scheduler parks this thread on the channel's completion queue
+        until a flush delivers them (the channel's own batch/max-delay
+        policy, or a flush performed by any other thread, rings the
+        doorbell; a policy with no latency bound flushes on behalf of
+        the waiter).  Phase 3 applies commands in order, acking each
         SET/DEL only if its journal completion came back clean —
         journal-before-ack, amortised over the request buffer.  A
         command whose journal op failed is answered ``-ERR`` and its
@@ -239,6 +249,7 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
         the journal.
         """
         consumed = 0
+        submitted = 0
         staged: list[tuple] = []
         while True:
             newline = raw.find(b"\n", consumed)
@@ -260,6 +271,7 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
                         ticket = self._kv.submit(
                             "put", key, req_buf + value_start, length
                         )
+                        submitted += 1
                     staged.append(
                         ("set", ticket, key, req_buf + value_start, length)
                     )
@@ -273,6 +285,7 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
                 # only be decided once earlier staged SETs have applied,
                 # and a tombstone for a missing key is harmless.
                 ticket = self._kv.submit("delete", key)
+                submitted += 1
                 staged.append(("del", ticket, key))
                 consumed = newline + 1
             elif line.startswith(b"EXISTS "):
@@ -298,9 +311,14 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
             else:
                 staged.append(("err",))
                 consumed = newline + 1
-        # One doorbell journals every SET/DEL submitted above.
-        self._kv.flush()
-        done = {c.ticket: c for c in self._kv.poll()}
+        # Wake-driven completion delivery: block until every journal
+        # op submitted above has completed (one doorbell for the whole
+        # pipeline) instead of forcing the flush and polling.
+        if submitted:
+            completions = yield from self._kv.wait_completions(submitted)
+            done = {c.ticket: c for c in completions}
+        else:
+            done = {}
         for cmd in staged:
             kind = cmd[0]
             if kind == "set":

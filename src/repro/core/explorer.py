@@ -190,6 +190,67 @@ def queue_recommendations(
     return dict(rows)
 
 
+def auto_tune_queue_edges(
+    profile: "WorkloadProfile",
+    backend: str | None = None,
+    queue_depth: int = 64,
+    min_crossings: int = 64,
+    marginal_fraction: float = 0.05,
+) -> dict[str, str]:
+    """Pick per-edge queue batch sizes from a measured profile.
+
+    The missing half of :func:`queue_recommendations`: that function
+    says *which* edges to batch at a fixed batch size; this one also
+    says *how deep*.  For each hot measured edge (at least
+    ``min_crossings`` crossings in the window) it walks doubling batch
+    candidates 2, 4, ... up to ``queue_depth`` and stops as soon as the
+    next doubling would shave less than ``marginal_fraction`` of the
+    backend's synchronous crossing cost off the amortised
+    per-operation cost — past that knee, deeper batching buys latency
+    exposure (a fuller ring between doorbells) without meaningful
+    amortisation.  An edge's batch is additionally capped at its
+    measured crossing count: a ring deeper than the traffic never
+    fills.
+
+    Returns ``{"caller->callee": "batch:N"}`` — exactly the form
+    :attr:`repro.core.config.BuildConfig.queue_edges` takes, so the
+    result can be dropped into a config verbatim.  Empty when the
+    backend has no queue variant or batching never beats the
+    synchronous gate.
+    """
+    from repro.gates.registry import relative_crossing_cost
+
+    effective_backend = backend if backend is not None else profile.backend
+    if effective_backend in ("none", "direct"):
+        return {}
+    sync_ns = relative_crossing_cost(effective_backend)
+    kind = f"queue:{effective_backend}"
+
+    def per_op_ns(batch: int) -> float:
+        return relative_crossing_cost(kind, batch=batch)
+
+    # The amortisation curve depends only on the backend, so the knee
+    # is found once; per-edge caps are applied below.
+    knee = 2
+    while knee * 2 <= max(2, queue_depth):
+        if per_op_ns(knee) - per_op_ns(knee * 2) < marginal_fraction * sync_ns:
+            break
+        knee *= 2
+    rows = []
+    for caller, callee, count in profile.edge_items():
+        if count < min_crossings:
+            continue
+        batch = knee
+        while batch > 2 and batch > count:
+            batch //= 2
+        queued_ns = per_op_ns(batch)
+        if queued_ns >= sync_ns:
+            continue
+        rows.append((count * (sync_ns - queued_ns), f"{caller}->{callee}", batch))
+    rows.sort(key=lambda row: (-row[0], row[1]))
+    return {edge: f"batch:{batch}" for _, edge, batch in rows}
+
+
 def profiled_cost_fn(
     profile: "WorkloadProfile",
     backend: str | None = None,

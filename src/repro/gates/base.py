@@ -98,6 +98,64 @@ def _require_factory(cls: type) -> None:
         )
 
 
+class _PlanEntry:
+    """One export's precompiled crossing state (see :class:`CrossingPlan`).
+
+    ``extra`` is backend payload — e.g. the CHERI gate stashes the
+    export's ``CAP_GRANTS`` specs so the fast path never re-reads the
+    class dict per call.
+    """
+
+    __slots__ = ("fn", "handler", "blocking", "ctx_label", "extra")
+
+    def __init__(self, fn, handler, blocking, ctx_label):
+        self.fn = fn
+        self.handler = handler
+        self.blocking = blocking
+        self.ctx_label = ctx_label
+        self.extra = None
+
+
+class CrossingPlan:
+    """Per-edge precompiled crossing state, built once per channel.
+
+    Compiled at channel construction: one :class:`_PlanEntry` per
+    export (resolved handler, blocking flag, the context label the slow
+    path would build with an f-string per call).  ``observing`` caches
+    whether any observer — the tracer or per-edge latency recording —
+    is live; it is re-resolved only when the machine's observability
+    epoch moves (one int compare per invoke), and while an observer is
+    live every crossing takes the original slow path, which is
+    trivially bit-identical.  ``hits``/``refreshes`` are host-side
+    telemetry (never in the metrics registry, so snapshots stay
+    identical across the ``REPRO_GATEPLAN`` toggle).
+    """
+
+    __slots__ = ("entries", "epoch", "observing", "hits", "refreshes", "_gate")
+
+    def __init__(self, gate: "Gate") -> None:
+        self._gate = gate
+        callee = gate.callee_lib
+        blocking = callee.blocking_exports
+        self.entries = {
+            fn: _PlanEntry(fn, handler, fn in blocking, gate._plan_ctx_label(fn))
+            for fn, handler in callee.exports.items()
+        }
+        self.epoch = -1
+        self.observing = True
+        self.hits = 0
+        self.refreshes = 0
+
+    def refresh(self, epoch: int) -> None:
+        """Re-resolve observer enablement after an obs-epoch bump."""
+        gate = self._gate
+        self.observing = gate.IS_BOUNDARY and (
+            gate._tracer._enabled or gate._metrics._record_edge_latency
+        )
+        self.epoch = epoch
+        self.refreshes += 1
+
+
 @dataclasses.dataclass
 class Completion:
     """One finished submission: its ticket and result (or error).
@@ -238,9 +296,25 @@ class Channel:
                 # waiter instead of parking forever.
                 self.flush()
                 continue
+            self.machine.cpu.bump("queue.wait_parks")
             yield WaitFlush(self)
             self.flush_if_due()
         return self.poll(min_count)
+
+    def drain(self) -> list["Completion"]:
+        """Flush pending submissions and drain *every* completion.
+
+        The synchronous error-delivery helper: rings the doorbell,
+        empties the completion ring, and re-raises the first deferred
+        error — exactly what a sync call would have raised at the
+        submission site.  On sync channels this is just a poll.
+        """
+        self.flush()
+        completions = self.poll()
+        for completion in completions:
+            if completion.error is not None:
+                raise completion.error
+        return completions
 
     # --- internal -----------------------------------------------------------
 
@@ -289,6 +363,33 @@ class Gate(Channel):
             caller_lib.NAME, callee_lib.NAME, self.KIND
         )
         self._tracer = machine.obs.tracer
+        # --- crossing-plan fast path -----------------------------------
+        # Everything the hot invoke needs, flattened into attributes so
+        # the fast path does no cost-model / registry attribute chasing.
+        # All precomputed values feed the *same* charge/bump sequence
+        # the slow path issues, so the REPRO_GATEPLAN toggle cannot
+        # change any simulated observable.
+        self._obs = machine.obs
+        self._caller_name = caller_lib.NAME
+        self._callee_name = callee_lib.NAME
+        self._counters = self._metrics.counters
+        self._call_ns = machine.cost.call_ns
+        self._ret_ns = machine.cost.ret_ns
+        self._is_boundary = self.IS_BOUNDARY
+        bumps = []
+        if self._is_boundary:
+            bumps.append("gate_crossings")
+        if self.EXTRA_COUNTER:
+            bumps.append(self.EXTRA_COUNTER)
+        self._bump_names = tuple(bumps)
+        #: Pooled callee Context reused by non-nested fast invokes (a
+        #: plain invoke cannot suspend, so the context is dead again by
+        #: the time the call returns).
+        self._ctx_pool = None
+        self._plan: CrossingPlan | None = None
+        if machine.gateplan_enabled:
+            self._plan = CrossingPlan(self)
+            machine.gate_plans.append(self._plan)
 
     # --- shared plumbing ----------------------------------------------------
 
@@ -441,6 +542,124 @@ class Gate(Channel):
         capability delegations on the already-derived context.
         """
 
+    # --- crossing-plan fast path --------------------------------------------
+
+    def _plan_ctx_label(self, fn: str) -> str:
+        """The context label the slow-path ``_enter`` builds for ``fn``.
+
+        Precomputed once per export at plan compile time so the fast
+        path never formats strings per call; backends override to match
+        their own f-string exactly.
+        """
+        return f"{self.callee_lib.NAME}.{fn}"
+
+    def _enter_fast(self, entry: _PlanEntry, args: tuple, cpu) -> None:
+        """Plan-specialized domain entry; defaults to the slow hook so
+        subclasses without a specialization stay correct."""
+        self._enter(entry.fn, args)
+
+    def _exit_fast(self, entry: _PlanEntry, cpu) -> None:
+        self._exit()
+
+    def _per_op_enter_fast(self, entry: _PlanEntry, args: tuple, cpu) -> None:
+        self._per_op_enter(entry.fn, args)
+
+    def _invoke_fast(self, entry: _PlanEntry, args: tuple) -> Any:
+        """Hot invoke: identical charge/bump sequence, zero derivation.
+
+        Mirrors ``_invoke_slow`` line for line — every ``charge`` has
+        the same value (precomputed from the same constants with the
+        same associativity) and every counter write the same order.
+        The only skipped work is host-side: lookups, f-strings, and
+        observer probes the plan already resolved (``observing`` False
+        guarantees the tracer and latency recorder are off).
+        """
+        plan = self._plan
+        plan.hits += 1
+        machine = self.machine
+        cpu = machine.cpu
+        profile = cpu._contexts[-1].profile
+        cpu.charge(self._call_ns + profile.call_extra_ns)
+        monitors = profile.call_monitors
+        if monitors:
+            fn = entry.fn
+            for monitor in monitors:
+                monitor(self._caller_name, self._callee_name, fn)
+        if self._is_boundary:
+            comp = self.callee_lib.compartment
+            if comp is not None and comp.failed:
+                # Restart may rebuild compartment state the pooled
+                # context caches — drop the pool before reviving.
+                self._ctx_pool = None
+                self._check_available()
+        self.crossings += 1
+        self._edge.crossings += 1
+        counters = self._counters
+        for name in self._bump_names:
+            counters[name] = counters.get(name, 0.0) + 1.0
+        self._enter_fast(entry, args, cpu)
+        try:
+            if machine.injector is not None:
+                machine.injector.on_crossing(self, entry.fn)
+            return entry.handler(*args)
+        except CONTAINABLE_FAULTS as exc:
+            failure = self._contain(exc)
+            if failure is None:
+                raise
+            raise failure from exc
+        finally:
+            self._exit_fast(entry, cpu)
+
+    def _invoke_batch_fast(
+        self, entries: list, ops: list[tuple[int, str, tuple]]
+    ) -> list[Completion]:
+        plan = self._plan
+        plan.hits += 1
+        machine = self.machine
+        cpu = machine.cpu
+        profile = cpu._contexts[-1].profile
+        cpu.charge(self._call_ns + profile.call_extra_ns)
+        monitors = profile.call_monitors
+        if monitors:
+            first_fn = ops[0][1]
+            for monitor in monitors:
+                monitor(self._caller_name, self._callee_name, first_fn)
+        if self._is_boundary:
+            comp = self.callee_lib.compartment
+            if comp is not None and comp.failed:
+                self._ctx_pool = None
+                self._check_available()
+        self.crossings += 1
+        self._edge.crossings += 1
+        counters = self._counters
+        for name in self._bump_names:
+            counters[name] = counters.get(name, 0.0) + 1.0
+        completions: list[Completion] = []
+        self._enter_fast(entries[0], (len(ops),), cpu)
+        try:
+            failure: BaseException | None = None
+            for (ticket, fn, args), entry in zip(ops, entries):
+                if failure is not None:
+                    completions.append(Completion(ticket, fn, error=failure))
+                    continue
+                try:
+                    self._per_op_enter_fast(entry, args, cpu)
+                    if machine.injector is not None:
+                        machine.injector.on_crossing(self, fn)
+                    completions.append(
+                        Completion(ticket, fn, value=entry.handler(*args))
+                    )
+                except CONTAINABLE_FAULTS as exc:
+                    failure = self._contain(exc)
+                    if failure is None:
+                        raise
+                    completions.append(Completion(ticket, fn, error=failure))
+                except Exception as exc:
+                    completions.append(Completion(ticket, fn, error=exc))
+        finally:
+            self._exit_fast(entries[0], cpu)
+        return completions
+
     # --- channel interface ---------------------------------------------------------
 
     def invoke_batch(
@@ -464,6 +683,22 @@ class Gate(Channel):
         """
         if not ops:
             return []
+        plan = self._plan
+        if plan is not None:
+            epoch = self._obs.epoch
+            if plan.epoch != epoch:
+                plan.refresh(epoch)
+            if not plan.observing:
+                get = plan.entries.get
+                entries = []
+                for _, fn, _ in ops:
+                    entry = get(fn)
+                    if entry is None or entry.blocking:
+                        entries = None
+                        break
+                    entries.append(entry)
+                if entries is not None:
+                    return self._invoke_batch_fast(entries, ops)
         handlers = [self._lookup(fn, blocking=False) for _, fn, _ in ops]
         self._caller_side(ops[0][1])
         self._check_available()
@@ -500,6 +735,15 @@ class Gate(Channel):
         return completions
 
     def invoke(self, fn: str, args: tuple) -> Any:
+        plan = self._plan
+        if plan is not None:
+            epoch = self._obs.epoch
+            if plan.epoch != epoch:
+                plan.refresh(epoch)
+            if not plan.observing:
+                entry = plan.entries.get(fn)
+                if entry is not None and not entry.blocking:
+                    return self._invoke_fast(entry, args)
         handler = self._lookup(fn, blocking=False)
         self._caller_side(fn)
         self._check_available()

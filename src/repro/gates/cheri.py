@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 from repro.gates.base import Gate, GateOptions
 from repro.machine.capabilities import base_capabilities
+from repro.machine.cpu import Context
 from repro.machine.faults import GateError
 
 if TYPE_CHECKING:
@@ -50,6 +51,18 @@ class CHERIGate(Gate):
                 f"CHERIGate to {callee_lib.NAME}: compartment has no "
                 f"capability set (build with backend='cheri')"
             )
+        # Fast-path constants + per-export grant specs stashed on the
+        # plan entries (CAP_GRANTS is class-level static metadata).
+        cost = machine.cost
+        self._crossing_ns = cost.cheri_crossing_ns
+        self._grant_ns = cost.cheri_grant_ns
+        self._cheri_exit_ns = cost.cheri_crossing_ns + cost.ret_ns
+        if self._plan is not None:
+            for fn, entry in self._plan.entries.items():
+                entry.extra = tuple(callee_lib.CAP_GRANTS.get(fn, ()))
+
+    def _plan_ctx_label(self, fn: str) -> str:
+        return f"cap:{self.callee_lib.NAME}.{fn}"
 
     def _grants_for(self, fn: str, args: tuple):
         for pointer_index, size_spec in self.callee_lib.CAP_GRANTS.get(fn, ()):
@@ -104,3 +117,61 @@ class CHERIGate(Gate):
         # Popping the context revokes every delegated capability.
         cpu.pop_context()
         cpu.charge(self.machine.cost.cheri_crossing_ns + self.machine.cost.ret_ns)
+
+    # --- crossing-plan fast path --------------------------------------------
+
+    def _apply_grants_fast(self, specs, args, capabilities, cpu) -> None:
+        """Charge + install one call's delegations (``_grants_for``
+        unrolled over the plan entry's precompiled specs)."""
+        grant_ns = self._grant_ns
+        counters = self._counters
+        nargs = len(args)
+        for pointer_index, size_spec in specs:
+            if pointer_index >= nargs:
+                continue
+            addr = args[pointer_index]
+            if not isinstance(addr, int):
+                continue
+            if size_spec < 0:
+                size = -size_spec
+            elif size_spec < nargs and isinstance(args[size_spec], int):
+                size = args[size_spec]
+            else:
+                continue
+            cpu.charge(grant_ns)
+            capabilities.grant(addr, size)
+            counters["cap_grants"] = counters.get("cap_grants", 0.0) + 1.0
+
+    def _enter_fast(self, entry, args, cpu) -> None:
+        cpu.charge(self._crossing_ns)
+        comp = self.callee_comp
+        capabilities = comp.capabilities.derive()
+        if entry.extra:
+            self._apply_grants_fast(entry.extra, args, capabilities, cpu)
+        ctx = self._ctx_pool
+        if ctx is None:
+            ctx = Context(
+                address_space=comp.address_space,
+                pkru=comp.pkru_value,
+                profile=comp.profile,
+                label=entry.ctx_label,
+                capabilities=capabilities,
+            )
+        else:
+            self._ctx_pool = None
+            ctx.label = entry.ctx_label
+            ctx.pkru = comp.pkru_value
+            ctx.capabilities = capabilities
+        cpu.push_context(ctx)
+
+    def _per_op_enter_fast(self, entry, args, cpu) -> None:
+        if entry.extra:
+            self._apply_grants_fast(
+                entry.extra, args, cpu._contexts[-1].capabilities, cpu
+            )
+
+    def _exit_fast(self, entry, cpu) -> None:
+        ctx = cpu.pop_context()
+        if self._ctx_pool is None:
+            self._ctx_pool = ctx
+        cpu.charge(self._cheri_exit_ns)

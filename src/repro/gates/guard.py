@@ -58,6 +58,31 @@ class GuardedChannel(Channel):
         self.shared_ranges = list(shared_ranges)
         self.checks_performed = 0
         self.rejections = 0
+        # Per-fn check steps, hoisted to construction time: contracts
+        # first, then pointer params — the exact order _check_steps
+        # replays, so charges and rejections are unchanged.  The check
+        # metadata is class-level static, so compiling once is safe; a
+        # fn missing here (never exported, no contracts) falls back to
+        # the generic derivation.
+        self._compiled_checks: dict[str, tuple] = {}
+        fns = (
+            set(callee_lib.exports)
+            | set(callee_lib.API_CONTRACTS)
+            | set(callee_lib.POINTER_PARAMS)
+        )
+        for fn in fns:
+            self._compiled_checks[fn] = self._compile_checks(fn)
+        self._contract_ns = machine.cost.contract_check_ns
+        self._counters = machine.cpu.metrics.counters
+
+    def _compile_checks(self, fn: str) -> tuple:
+        callee = self.callee_lib
+        steps: list[tuple] = []
+        for predicate, description in callee.API_CONTRACTS.get(fn, []):
+            steps.append((True, predicate, description))
+        for index in callee.POINTER_PARAMS.get(fn, ()):
+            steps.append((False, None, index))
+        return tuple(steps)
 
     @property
     def IS_BOUNDARY(self) -> bool:  # noqa: N802 - mirrors the class attr
@@ -71,31 +96,39 @@ class GuardedChannel(Channel):
         return any(start <= addr < end for start, end in self.shared_ranges)
 
     def _check(self, fn: str, args: tuple) -> None:
-        cost = self.machine.cost
-        callee = self.callee_lib
-        for predicate, description in callee.API_CONTRACTS.get(fn, []):
-            self.machine.cpu.charge(cost.contract_check_ns)
-            self.machine.cpu.bump("boundary_checks")
+        steps = self._compiled_checks.get(fn)
+        if steps is None:
+            steps = self._compile_checks(fn)
+        if not steps:
+            return
+        cpu = self.machine.cpu
+        contract_ns = self._contract_ns
+        counters = self._counters
+        callee_name = self.callee_lib.NAME
+        for is_contract, predicate, payload in steps:
+            cpu.charge(contract_ns)
+            counters["boundary_checks"] = (
+                counters.get("boundary_checks", 0.0) + 1.0
+            )
             self.checks_performed += 1
+            if not is_contract:
+                # Pointer-validation step: payload is the arg index.
+                if payload >= len(args) or not self._pointer_ok(args[payload]):
+                    self.rejections += 1
+                    raise BoundaryViolation(
+                        callee_name,
+                        fn,
+                        f"pointer argument {payload} does not reference "
+                        f"shareable memory",
+                    )
+                continue
             try:
                 ok = bool(predicate(args))
             except Exception:
                 ok = False
             if not ok:
                 self.rejections += 1
-                raise BoundaryViolation(callee.NAME, fn, description)
-        for index in callee.POINTER_PARAMS.get(fn, ()):
-            self.machine.cpu.charge(cost.contract_check_ns)
-            self.machine.cpu.bump("boundary_checks")
-            self.checks_performed += 1
-            if index >= len(args) or not self._pointer_ok(args[index]):
-                self.rejections += 1
-                raise BoundaryViolation(
-                    callee.NAME,
-                    fn,
-                    f"pointer argument {index} does not reference shareable "
-                    f"memory",
-                )
+                raise BoundaryViolation(callee_name, fn, payload)
 
     # --- channel interface ------------------------------------------------------
 

@@ -203,11 +203,15 @@ class QueueChannel(Channel):
         cpu.bump("queue.completions", len(completions))
         self._batch_hist.observe(len(ops))
         if self._sched is not None and len(self.completion_waitq):
-            self._sched.wake_all(self.completion_waitq)
+            # Doorbell as a wake source: completion waiters resume via
+            # the scheduler instead of polling the ring.
+            woken = self._sched.wake_all(self.completion_waitq)
+            cpu.bump("queue.wakes", woken)
         return len(ops)
 
     def poll(self, max_items: int | None = None) -> list[Completion]:
         """Drain ready completions; one CQE load per drained entry."""
+        self.machine.cpu.bump("queue.polls")
         drained = super().poll(max_items)
         for _ in drained:
             self.machine.load(self._cqe_addr(self._cq_head), self.CQE_BYTES)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.gates.base import Gate, GateOptions
+from repro.machine.cpu import Context
 from repro.machine.faults import GateError, RPCTimeout
 
 if TYPE_CHECKING:
@@ -55,6 +56,10 @@ class VMRPCGate(Gate):
         #: Resilience accounting for this channel.
         self.retries = 0
         self.duplicates_discarded = 0
+        self._word_bytes = self.options.word_bytes
+
+    def _plan_ctx_label(self, fn: str) -> str:
+        return f"rpc:{self.callee_lib.NAME}.{fn}"
 
     def _notify(self, payload_bytes: int) -> None:
         """Send one notification, resending on loss until delivered.
@@ -109,3 +114,32 @@ class VMRPCGate(Gate):
         cpu.pop_context()
         self._notify(self.options.word_bytes)
         cpu.charge(cost.ret_ns)
+
+    # --- crossing-plan fast path --------------------------------------------
+    # The notification (with its retry/duplicate machinery) stays the
+    # shared _notify; only the context construction is specialized.
+
+    def _enter_fast(self, entry, args, cpu) -> None:
+        self._notify(max(1, len(args)) * self._word_bytes)
+        comp = self.callee_comp
+        ctx = self._ctx_pool
+        if ctx is None:
+            ctx = Context(
+                address_space=comp.address_space,
+                pkru=comp.pkru_value,
+                profile=comp.profile,
+                label=entry.ctx_label,
+                capabilities=comp.capabilities,
+            )
+        else:
+            self._ctx_pool = None
+            ctx.label = entry.ctx_label
+            ctx.pkru = comp.pkru_value
+        cpu.push_context(ctx)
+
+    def _exit_fast(self, entry, cpu) -> None:
+        ctx = cpu.pop_context()
+        if self._ctx_pool is None:
+            self._ctx_pool = ctx
+        self._notify(self._word_bytes)
+        cpu.charge(self._ret_ns)

@@ -227,10 +227,7 @@ compact(); recover(); set_flush_policy(policy); kv_keys(); kv_stats()
         failed write — the error a sync ``blk_write`` call would have
         raised at append time.
         """
-        self._blk.flush()
-        errors = [c.error for c in self._blk.poll() if c.error is not None]
-        if errors:
-            raise errors[0]
+        self._blk.drain()
 
     def _blk_flush(self) -> None:
         """Drain queued writes, then issue the device flush barrier."""

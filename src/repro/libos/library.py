@@ -174,6 +174,10 @@ class Stub:
         """Force pending submissions through (ring the doorbell)."""
         return self._channel.flush()
 
+    def drain(self) -> list:
+        """Flush + drain all completions, raising the first deferred error."""
+        return self._channel.drain()
+
     def wait_completions(self, min_count: int = 1) -> Generator:
         """Blocking completion wait; drive with ``yield from``."""
         return self._channel.wait_completions(min_count)

@@ -318,12 +318,7 @@ send(fd, buf, size); close(fd); rx_process(budget); stop(); net_stats()
                 segments.append((mbuf, chunk))
                 seq_cursor += chunk
                 offset += chunk
-            self._libc.flush()
-            errors = [
-                c.error for c in self._libc.poll() if c.error is not None
-            ]
-            if errors:
-                raise errors[0]
+            self._libc.drain()
             for mbuf, chunk in segments:
                 self.charge(cost.pkt_fixed_ns + chunk * cost.pkt_byte_ns)
                 self.nic.tx(mbuf, HEADER_SIZE + chunk)

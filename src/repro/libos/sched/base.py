@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from collections import deque
 from typing import TYPE_CHECKING, Generator
 
 if TYPE_CHECKING:
@@ -89,25 +88,73 @@ class IdleUntil:
 
 
 class WaitQueue:
-    """A FIFO of blocked threads (semaphores, socket readiness, ...)."""
+    """A FIFO of blocked threads (semaphores, socket readiness, ...).
+
+    Intrusive doubly-linked list threaded through the parked threads'
+    ``_wq_next``/``_wq_prev`` fields: park, pop, targeted removal
+    (``kill_thread``) and membership tests are all O(1) with no
+    per-operation allocation.  A thread can be parked on at most one
+    wait queue at a time — which the simulator already guarantees,
+    since a blocked thread is suspended and cannot block again.
+    """
+
+    __slots__ = ("name", "_head", "_tail", "_size")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._threads: deque["Thread"] = deque()
+        self._head: "Thread | None" = None
+        self._tail: "Thread | None" = None
+        self._size = 0
 
     def park(self, thread: "Thread") -> None:
         """Add a thread to the queue (run-loop use)."""
-        self._threads.append(thread)
+        if thread._wq is not None:
+            raise RuntimeError(
+                f"{thread!r} is already parked on {thread._wq!r}"
+            )
+        thread._wq = self
+        thread._wq_prev = self._tail
+        thread._wq_next = None
+        if self._tail is None:
+            self._head = thread
+        else:
+            self._tail._wq_next = thread
+        self._tail = thread
+        self._size += 1
 
     def pop(self) -> "Thread | None":
         """Remove and return the longest-waiting thread, if any."""
-        return self._threads.popleft() if self._threads else None
+        thread = self._head
+        if thread is None:
+            return None
+        self._unlink(thread)
+        return thread
+
+    def remove(self, thread: "Thread") -> bool:
+        """Remove a specific thread (kill path); True if it was parked here."""
+        if thread._wq is not self:
+            return False
+        self._unlink(thread)
+        return True
+
+    def _unlink(self, thread: "Thread") -> None:
+        prev, nxt = thread._wq_prev, thread._wq_next
+        if prev is None:
+            self._head = nxt
+        else:
+            prev._wq_next = nxt
+        if nxt is None:
+            self._tail = prev
+        else:
+            nxt._wq_prev = prev
+        thread._wq = thread._wq_next = thread._wq_prev = None
+        self._size -= 1
 
     def __len__(self) -> int:
-        return len(self._threads)
+        return self._size
 
     def __contains__(self, thread: "Thread") -> bool:
-        return thread in self._threads
+        return thread._wq is self
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"WaitQueue({self.name!r}, waiting={len(self)})"
@@ -137,6 +184,10 @@ class Thread:
         self.ctx_stack: list["Context"] = [home_context]
         #: Wait queue the thread is currently parked on, if any.
         self.waitq: WaitQueue | None = None
+        #: Intrusive wait-queue links (owned by :class:`WaitQueue`).
+        self._wq: WaitQueue | None = None
+        self._wq_next: "Thread | None" = None
+        self._wq_prev: "Thread | None" = None
         #: Private queue for :class:`IdleUntil` sleeps (timer wakeups).
         self.idle_waitq = WaitQueue(f"idle:{tid}")
         #: Home stack region (one per compartment under switched gates).

@@ -10,7 +10,6 @@ out of its compartment (or into SH-hardened variants).
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Callable, Generator
 
@@ -24,6 +23,7 @@ from repro.libos.sched.base import (
     WaitQueue,
     Yield,
 )
+from repro.libos.sched.timerwheel import TimerWheel
 from repro.machine.faults import (
     CONTAINABLE_FAULTS,
     CompartmentFailure,
@@ -61,9 +61,19 @@ thread_join(tid)
         self.threads: dict[int, Thread] = {}
         self._next_tid = 1
         self.total_switches = 0
-        #: Pending timers: (deadline_ns, sequence, waitq) min-heap.
-        self._timers: list[tuple[float, int, WaitQueue]] = []
+        #: Pending timers, kept in a hierarchical timer wheel: O(1)
+        #: arming, bounded sweeps on advance, exact heap fire order.
+        self._timers = TimerWheel()
         self._timer_seq = 0
+        #: Directive dispatch table: exact class -> handler, resolved
+        #: in one dict lookup on the hot switch path (an isinstance
+        #: walk remains as the fallback for directive subclasses).
+        self._dispatch: dict[type, Callable] = {
+            Yield: self._on_yield,
+            Block: self._on_block,
+            IdleUntil: self._on_idle_until,
+            WaitFlush: self._on_wait_flush,
+        }
         #: Threads reaped after a contained compartment failure:
         #: (thread name, CompartmentFailure) in death order.
         self.thread_failures: list[tuple[str, CompartmentFailure]] = []
@@ -187,22 +197,30 @@ thread_join(tid)
         """Arm a one-shot timer waking ``waitq`` at ``deadline_ns``."""
         self.charge(self.machine.cost.waitq_op_ns)
         self._timer_seq += 1
-        heapq.heappush(self._timers, (deadline_ns, self._timer_seq, waitq))
+        self._timers.schedule(deadline_ns, self._timer_seq, waitq)
 
     def _fire_due_timers(self) -> int:
-        """Wake every timer whose deadline has passed."""
-        fired = 0
-        now = self.machine.cpu.clock_ns
-        while self._timers and self._timers[0][0] <= now:
-            _, _, waitq = heapq.heappop(self._timers)
-            self.wake_all(waitq)
-            fired += 1
-        return fired
+        """Wake every live timer whose deadline has passed.
+
+        Timers whose wait queue emptied in the meantime (the sleeper
+        was killed, or woken through another path) are dropped by the
+        wheel without a spurious wake — previously they "fired" for
+        nobody and still charged a wait-queue operation.
+        """
+        due = self._timers.collect(self.machine.cpu.clock_ns)
+        for entry in due:
+            self.wake_all(entry.waitq)
+        return len(due)
 
     @property
     def pending_timers(self) -> int:
-        """Number of armed timers."""
-        return len(self._timers)
+        """Number of armed timers somebody is still waiting on."""
+        return self._timers.live_count()
+
+    @property
+    def timer_cascades(self) -> int:
+        """Outer-level wheel re-files so far (host-side telemetry)."""
+        return self._timers.cascades
 
     # --- run loop -------------------------------------------------------------
 
@@ -241,11 +259,13 @@ thread_join(tid)
                 break
             self._fire_due_timers()
             if not self.run_queue:
-                if not self._timers:
-                    break
                 # Idle: nothing runnable until the next timer — advance
                 # the clock to its deadline (the tickless-idle path).
-                deadline = self._timers[0][0]
+                # Only *live* deadlines count: a timer whose waiters
+                # are all gone must not pull the clock forward.
+                deadline = self._timers.next_live_deadline()
+                if deadline is None:
+                    break
                 if deadline > cpu.clock_ns:
                     cpu.charge(deadline - cpu.clock_ns)
                     if cpu.clock_ns < deadline:
@@ -313,68 +333,73 @@ thread_join(tid)
                 )
             if thread.state is ThreadState.DONE:
                 continue
-            if isinstance(directive, Yield):
-                thread.state = ThreadState.READY
-                self.run_queue.append(thread)
-            elif isinstance(directive, Block):
-                thread.state = ThreadState.BLOCKED
-                thread.waitq = directive.waitq
-                directive.waitq.park(thread)
-            elif isinstance(directive, IdleUntil):
-                deadline = directive.deadline_ns
-                if deadline <= cpu.clock_ns:
-                    # Already due: nothing to sleep for.
-                    thread.state = ThreadState.READY
-                    self.run_queue.append(thread)
-                else:
-                    # Park on the thread's private idle queue and arm an
-                    # internal one-shot timer; the tickless-idle branch
-                    # above jumps the clock to this deadline once nothing
-                    # else is runnable (the event-driven clock).
-                    self.charge(self.machine.cost.waitq_op_ns)
-                    thread.state = ThreadState.BLOCKED
-                    thread.waitq = thread.idle_waitq
-                    thread.idle_waitq.park(thread)
-                    self._timer_seq += 1
-                    heapq.heappush(
-                        self._timers,
-                        (deadline, self._timer_seq, thread.idle_waitq),
+            handler = self._dispatch.get(directive.__class__)
+            if handler is None:
+                for cls, fallback in self._dispatch.items():
+                    if isinstance(directive, cls):
+                        handler = fallback
+                        break
+                if handler is None:
+                    raise GateError(
+                        f"thread {thread.name} yielded invalid directive "
+                        f"{directive!r}"
                     )
-            elif isinstance(directive, WaitFlush):
-                channel = directive.channel
-                # First wait binds the scheduler so flushes performed by
-                # other threads can wake the completion queue early.
-                channel.bind_scheduler(self)
-                if channel.completions_ready or not channel.pending:
-                    # Nothing to sleep for (completions ready, or the
-                    # wait raced with a flush): stay runnable.
-                    thread.state = ThreadState.READY
-                    self.run_queue.append(thread)
-                else:
-                    self.charge(self.machine.cost.waitq_op_ns)
-                    waitq = channel.completion_waitq
-                    thread.state = ThreadState.BLOCKED
-                    thread.waitq = waitq
-                    waitq.park(thread)
-                    deadline = channel.flush_deadline_ns()
-                    if deadline is not None:
-                        # IdleUntil-style timer parking at the flush
-                        # deadline; the woken thread flushes the ring.
-                        self._timer_seq += 1
-                        heapq.heappush(
-                            self._timers,
-                            (
-                                max(deadline, cpu.clock_ns),
-                                self._timer_seq,
-                                waitq,
-                            ),
-                        )
-            else:
-                raise GateError(
-                    f"thread {thread.name} yielded invalid directive "
-                    f"{directive!r}"
-                )
+            handler(thread, directive, cpu)
         return switches
+
+    # --- directive handlers ------------------------------------------------------
+
+    def _on_yield(self, thread: Thread, directive, cpu) -> None:
+        thread.state = ThreadState.READY
+        self.run_queue.append(thread)
+
+    def _on_block(self, thread: Thread, directive, cpu) -> None:
+        thread.state = ThreadState.BLOCKED
+        thread.waitq = directive.waitq
+        directive.waitq.park(thread)
+
+    def _on_idle_until(self, thread: Thread, directive, cpu) -> None:
+        deadline = directive.deadline_ns
+        if deadline <= cpu.clock_ns:
+            # Already due: nothing to sleep for.
+            thread.state = ThreadState.READY
+            self.run_queue.append(thread)
+        else:
+            # Park on the thread's private idle queue and arm an
+            # internal one-shot timer; the tickless-idle branch of the
+            # run loop jumps the clock to this deadline once nothing
+            # else is runnable (the event-driven clock).
+            self.charge(self.machine.cost.waitq_op_ns)
+            thread.state = ThreadState.BLOCKED
+            thread.waitq = thread.idle_waitq
+            thread.idle_waitq.park(thread)
+            self._timer_seq += 1
+            self._timers.schedule(deadline, self._timer_seq, thread.idle_waitq)
+
+    def _on_wait_flush(self, thread: Thread, directive, cpu) -> None:
+        channel = directive.channel
+        # First wait binds the scheduler so flushes performed by
+        # other threads can wake the completion queue early.
+        channel.bind_scheduler(self)
+        if channel.completions_ready or not channel.pending:
+            # Nothing to sleep for (completions ready, or the
+            # wait raced with a flush): stay runnable.
+            thread.state = ThreadState.READY
+            self.run_queue.append(thread)
+        else:
+            self.charge(self.machine.cost.waitq_op_ns)
+            waitq = channel.completion_waitq
+            thread.state = ThreadState.BLOCKED
+            thread.waitq = waitq
+            waitq.park(thread)
+            deadline = channel.flush_deadline_ns()
+            if deadline is not None:
+                # IdleUntil-style timer parking at the flush
+                # deadline; the woken thread flushes the ring.
+                self._timer_seq += 1
+                self._timers.schedule(
+                    max(deadline, cpu.clock_ns), self._timer_seq, waitq
+                )
 
     def _reap_failed(self, thread: Thread, failure: CompartmentFailure) -> None:
         """Retire a thread killed by a contained compartment failure."""
@@ -411,8 +436,9 @@ thread_join(tid)
             thread.body.close()
         finally:
             thread.ctx_stack = cpu.swap_context_stack(saved)
-        if thread.waitq is not None and thread in thread.waitq:
-            thread.waitq._threads.remove(thread)
+        if thread.waitq is not None:
+            # O(1) intrusive unlink (no scan of the queue).
+            thread.waitq.remove(thread)
         if thread in self.run_queue:
             self.run_queue.remove(thread)
         thread.state = ThreadState.DONE

@@ -45,6 +45,7 @@ class Machine:
         cost: CostModel | None = None,
         phys_bytes: int = 64 * 1024 * 1024,
         fastpath: bool | None = None,
+        gateplan: bool | None = None,
     ) -> None:
         self.phys = PhysicalMemory(phys_bytes)
         self.cpu = CPU(cost)
@@ -64,6 +65,22 @@ class Machine:
         #: ``cpu.snapshot()`` bit-identical across the toggle.
         self.tlb_hits = 0
         self.tlb_misses = 0
+        #: Crossing-plan fast path for gate invokes.  Channels compile a
+        #: per-edge :class:`~repro.gates.base.CrossingPlan` at
+        #: construction (handlers, precomputed charge sums, context
+        #: labels) and take a specialized invoke path when no observer
+        #: (tracer / edge-latency recording) is live.  ``gateplan=False``
+        #: (or env ``REPRO_GATEPLAN=0``) forces the original per-call
+        #: derivation — the reference ``bench_fastpath.py --check``
+        #: compares against.  Both paths issue the identical charge and
+        #: counter sequence, so simulated observables are bit-identical.
+        if gateplan is None:
+            gateplan = os.environ.get("REPRO_GATEPLAN", "1") != "0"
+        self.gateplan_enabled = bool(gateplan)
+        #: Crossing plans compiled by this machine's channels (host-side
+        #: telemetry only — same bit-identity rationale as the TLB
+        #: counters above).
+        self.gate_plans: list = []
         #: Observability: span tracer (disabled by default) + metrics
         #: registry (shared with the CPU).  See :mod:`repro.obs`.
         self.obs = Observability(self.cpu)
@@ -393,6 +410,14 @@ class Machine:
             "tlb_invalidations": sum(
                 space.tlb_invalidations for space in self.spaces.values()
             ),
+            "gateplan": {
+                "enabled": self.gateplan_enabled,
+                "plans": len(self.gate_plans),
+                "plan_hits": sum(plan.hits for plan in self.gate_plans),
+                "plan_refreshes": sum(
+                    plan.refreshes for plan in self.gate_plans
+                ),
+            },
         }
 
     # --- context helpers --------------------------------------------------------

@@ -79,3 +79,14 @@ class Observability:
         self.tracer = Tracer(clock=lambda: cpu.clock_ns)
         # Give the CPU its hook point (wrpkru instants, etc.).
         cpu.tracer = self.tracer
+        #: Monotonic generation counter for observability toggles.
+        #: Precompiled gate crossing plans cache which recorders
+        #: (tracer spans, edge-latency histograms) are live and only
+        #: re-resolve when this epoch moves — one int compare per
+        #: crossing instead of re-checking every hook.
+        self.epoch = 0
+        self.tracer._on_toggle = self._bump_epoch
+        self.metrics._on_obs_toggle = self._bump_epoch
+
+    def _bump_epoch(self) -> None:
+        self.epoch += 1

@@ -114,7 +114,22 @@ class MetricsRegistry:
         #: host-side only (never charge the clock), but appending one
         #: float per crossing is not free host time, so only profiling
         #: sessions (:mod:`repro.obs.profile`) pay for it.
-        self.record_edge_latency = False
+        self._record_edge_latency = False
+        #: Optional zero-arg hook fired when :attr:`record_edge_latency`
+        #: flips — the machine's Observability bumps its epoch so gate
+        #: crossing plans re-resolve (exploration registries leave it
+        #: unset).
+        self._on_obs_toggle: "Callable[[], None] | None" = None
+
+    @property
+    def record_edge_latency(self) -> bool:
+        return self._record_edge_latency
+
+    @record_edge_latency.setter
+    def record_edge_latency(self, value: bool) -> None:
+        self._record_edge_latency = bool(value)
+        if self._on_obs_toggle is not None:
+            self._on_obs_toggle()
 
     # --- counters ----------------------------------------------------------
 

@@ -35,7 +35,12 @@ class Tracer:
 
     def __init__(self, clock: Callable[[], float]) -> None:
         self._clock = clock
-        self.enabled = False
+        self._enabled = False
+        #: Optional zero-arg hook fired whenever :attr:`enabled` flips.
+        #: The machine's :class:`~repro.obs.Observability` points it at
+        #: its epoch bump so precompiled gate crossing plans know to
+        #: re-resolve their recorder lists.
+        self._on_toggle: Callable[[], None] | None = None
         self.events: list[dict] = []
         self.track_names: dict[int, str] = {
             HOST_TRACK: "host",
@@ -46,6 +51,16 @@ class Tracer:
         self._open: dict[int, list[tuple[str, str]]] = {}
 
     # --- lifecycle ---------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        if self._on_toggle is not None:
+            self._on_toggle()
 
     def enable(self) -> "Tracer":
         self.enabled = True

@@ -39,6 +39,7 @@ from repro.core.builder import build_image, library_defs
 from repro.core.config import BuildConfig
 from repro.core.explorer import (
     Explorer,
+    auto_tune_queue_edges,
     crossing_cost_fn,
     profiled_cost_fn,
     requirement_satisfied,
@@ -100,7 +101,10 @@ def _explorer_for(profile: WorkloadProfile, args) -> tuple[Explorer, list]:
 
 
 def _deployment_payload(
-    deployment: Deployment, backend: str, profile: WorkloadProfile
+    deployment: Deployment,
+    backend: str,
+    profile: WorkloadProfile,
+    queue_edges: dict[str, str] | None = None,
 ) -> dict:
     """A pick as JSON: describable and directly buildable."""
     groups = deployment.compartments
@@ -113,12 +117,39 @@ def _deployment_payload(
             for lib, techniques in deployment.choices.items()
             if techniques
         },
+        queue_edges=dict(queue_edges or {}),
     )
     return {
         "describe": deployment.describe(),
         "num_compartments": deployment.num_compartments,
         "config": config.to_dict(),
     }
+
+
+def _tuned_queue_edges(
+    profile: WorkloadProfile, backend: str, deployment: Deployment
+) -> dict[str, str]:
+    """Auto-tuned queue policies for the pick's actual boundary edges.
+
+    :func:`auto_tune_queue_edges` works from the measured profile alone;
+    here its proposals are filtered down to edges that cross a
+    compartment boundary *in the recommended coloring* (same-compartment
+    edges cannot be queued, and a single-compartment pick gets none).
+    """
+    coloring = deployment.coloring
+    tuned = auto_tune_queue_edges(profile, backend=backend)
+    kept = {}
+    for edge, policy in tuned.items():
+        caller, _, callee = edge.partition("->")
+        caller_color = coloring.get(caller)
+        callee_color = coloring.get(callee)
+        if (
+            caller_color is not None
+            and callee_color is not None
+            and caller_color != callee_color
+        ):
+            kept[edge] = policy
+    return kept
 
 
 def cmd_recommend(args) -> int:
@@ -133,6 +164,7 @@ def cmd_recommend(args) -> int:
     if pick is None:
         print("no deployment satisfies the requirements", file=sys.stderr)
         return 1
+    queue_edges = _tuned_queue_edges(profile, backend, pick)
     payload = {
         "profile": str(args.profile),
         "profile_hash": profile.profile_hash(),
@@ -141,7 +173,10 @@ def cmd_recommend(args) -> int:
         "backend": backend,
         "requirements": list(args.require),
         "estimated_cost_ns": perf_fn(pick),
-        "recommendation": _deployment_payload(pick, backend, profile),
+        "queue_edges": queue_edges,
+        "recommendation": _deployment_payload(
+            pick, backend, profile, queue_edges=queue_edges
+        ),
     }
     if args.check:
         # Artifact round-trip: load(save(x)) is identity.

@@ -82,6 +82,16 @@ def collect(
     fastpath = image.machine.fastpath_stats()
     lookups = fastpath["tlb_hits"] + fastpath["tlb_misses"]
     fastpath["tlb_hit_rate"] = fastpath["tlb_hits"] / lookups if lookups else 0.0
+    fastpath["wheel_cascades"] = getattr(image.scheduler, "timer_cascades", 0)
+    counters = image.machine.cpu.metrics.counters
+    wakes = counters.get("queue.wakes", 0.0)
+    polls = counters.get("queue.polls", 0.0)
+    fastpath["completion_delivery"] = {
+        "wakes": wakes,
+        "polls": polls,
+        "wait_parks": counters.get("queue.wait_parks", 0.0),
+        "wake_poll_ratio": wakes / polls if polls else 0.0,
+    }
     return {
         "layout": image.layout(),
         "workload": {"summary": summary, **numbers},
@@ -260,6 +270,29 @@ def render_text(
         )
         if not machine["enabled"]:
             lines.append("  fast path DISABLED (REPRO_FASTPATH=0)")
+        gateplan = machine.get("gateplan")
+        if gateplan:
+            lines.append(
+                f"  crossing plans: {gateplan['plans']} compiled, "
+                f"{gateplan['plan_hits']} hits, "
+                f"{gateplan['plan_refreshes']} refreshes"
+            )
+            if not gateplan["enabled"]:
+                lines.append(
+                    "  crossing plans DISABLED (REPRO_GATEPLAN=0)"
+                )
+        if "wheel_cascades" in machine:
+            lines.append(
+                f"  timer wheel: {machine['wheel_cascades']} cascades"
+            )
+        delivery = machine.get("completion_delivery")
+        if delivery and (delivery["wakes"] or delivery["polls"]):
+            lines.append(
+                f"  completion delivery: {delivery['wakes']:.0f} wakes / "
+                f"{delivery['polls']:.0f} polls "
+                f"(ratio {delivery['wake_poll_ratio']:.2f}), "
+                f"{delivery['wait_parks']:.0f} parks"
+            )
 
     if data.get("trace_file"):
         lines += ["", f"trace written to {data['trace_file']}"]
@@ -360,8 +393,9 @@ def main(argv: list[str] | None = None) -> int:
         "--machine",
         action="store_true",
         help="also summarize the simulation fast path (software-TLB "
-        "hit/miss/shootdown counts — host-side telemetry, never part "
-        "of the simulated metrics)",
+        "hit/miss/shootdown counts, crossing-plan cache hits, timer-"
+        "wheel cascades, wake-vs-poll completion delivery — host-side "
+        "telemetry, never part of the simulated metrics)",
     )
     args = parser.parse_args(argv)
     _check_output_dir(parser, "--trace", args.trace)

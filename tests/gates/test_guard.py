@@ -164,3 +164,101 @@ def test_blocking_exports_also_guarded():
     image.spawn("attacker", body, app)
     image.run(max_switches=100)
     assert len(failures) == 1
+
+
+# --- compiled-check semantics (unit level) ---------------------------------
+#
+# Check steps are hoisted to construction time; these tests pin the
+# semantics that hoisting must preserve: step order (contracts before
+# pointer validation), one charge and one counter bump per step, and
+# the fallback derivation for fns outside the compiled table.
+
+from repro.gates import make_channel
+from repro.libos.compartment import Compartment
+from repro.libos.library import Linker, MicroLibrary, export
+from repro.machine.machine import Machine
+from repro.machine.mpk import pkru_for_keys
+
+SHARED_LOW, SHARED_HIGH = 0x7000_0000, 0x7000_1000
+
+
+class ContractLibrary(MicroLibrary):
+    NAME = "contract-svc"
+    SPEC = "[Memory access] Read(Own); Write(Own)"
+    API_CONTRACTS = {
+        "op": [(lambda args: args[0] > 0, "count must be positive")],
+    }
+    POINTER_PARAMS = {"op": (1,)}
+
+    @export
+    def op(self, count, buf):
+        return count
+
+
+class GuardClientLibrary(MicroLibrary):
+    NAME = "guard-client"
+    SPEC = "[Memory access] Read(Own); Write(Own)"
+
+
+def make_guarded():
+    machine = Machine()
+    linker = Linker()
+    space = machine.new_address_space("main")
+    comp_a = Compartment(0, "svc-comp", machine)
+    comp_a.address_space = space
+    comp_a.pkey = 1
+    comp_a.pkru_value = pkru_for_keys(writable=[1, 14])
+    comp_b = Compartment(1, "client-comp", machine)
+    comp_b.address_space = space
+    comp_b.pkey = 2
+    comp_b.pkru_value = pkru_for_keys(writable=[2, 14])
+    service = ContractLibrary()
+    client = GuardClientLibrary()
+    service.install(machine, comp_a, linker)
+    client.install(machine, comp_b, linker)
+    inner = make_channel("mpk-shared", machine, client, service)
+    guard = GuardedChannel(
+        inner, machine, service, [(SHARED_LOW, SHARED_HIGH)]
+    )
+    return machine, guard
+
+
+def test_checks_compiled_at_construction():
+    _, guard = make_guarded()
+    steps = guard._compiled_checks["op"]
+    # Contracts first, then pointer-validation steps — the order the
+    # per-call derivation always used.
+    assert [is_contract for is_contract, _, _ in steps] == [True, False]
+
+
+def test_contract_failure_stops_before_pointer_check():
+    _, guard = make_guarded()
+    with pytest.raises(BoundaryViolation, match="positive"):
+        guard._check("op", (-1, SHARED_LOW))
+    assert guard.checks_performed == 1  # pointer step never reached
+    assert guard.rejections == 1
+
+
+def test_pointer_rejection_comes_after_contract_charge():
+    _, guard = make_guarded()
+    with pytest.raises(BoundaryViolation, match="pointer"):
+        guard._check("op", (5, 0xDEAD))
+    assert guard.checks_performed == 2
+    assert guard.rejections == 1
+
+
+def test_one_charge_and_counter_bump_per_step():
+    machine, guard = make_guarded()
+    before = machine.cpu.clock_ns
+    guard._check("op", (5, SHARED_LOW))
+    assert machine.cpu.clock_ns - before == 2 * machine.cost.contract_check_ns
+    assert machine.cpu.metrics.counters["boundary_checks"] == 2.0
+    assert guard.checks_performed == 2 and guard.rejections == 0
+
+
+def test_uncontracted_fn_charges_nothing():
+    machine, guard = make_guarded()
+    before = machine.cpu.clock_ns
+    guard._check("mystery", (1, 2, 3))
+    assert machine.cpu.clock_ns == before
+    assert guard.checks_performed == 0
