@@ -5,6 +5,7 @@ the FlexOS builder registry, so ``BuildConfig(libraries=[...,"iperf"])``
 just works.
 """
 
+from repro.apps import resp
 from repro.apps.httpd import HttpdApp
 from repro.apps.iperf import IperfServerApp
 from repro.apps.rediserver import RedisServerApp
@@ -39,6 +40,7 @@ __all__ = [
     "make_get_payloads",
     "make_set_payloads",
     "populate_files",
+    "resp",
     "run_closed_loop",
     "run_iperf",
     "run_named_workload",

@@ -1,14 +1,22 @@
 """A Redis-like key/value server (paper §4, Redis experiments).
 
-Implements a minimal text protocol over the simulated TCP-lite stream:
+Speaks two request framings over the simulated TCP-lite stream, chosen
+per command by the first byte — exactly how real redis accepts both
+RESP arrays and inline commands on one connection:
 
-- ``SET <key> <len>\\n<len value bytes>`` → ``+OK\\n``
-- ``GET <key>\\n`` → ``$<len>\\n<value>`` or ``$-1\\n`` on miss
+- **RESP2** (``*2\\r\\n$3\\r\\nGET\\r\\n$3\\r\\nkey\\r\\n`` → ``$5\\r\\nvalue\\r\\n``):
+  the wire protocol external clients speak, parsed incrementally by
+  :mod:`repro.apps.resp`.  Replies use RESP framing (CRLF, trailing
+  terminator on bulk strings).
+- **legacy text** (``SET <key> <len>\\n<len value bytes>`` → ``+OK\\n``):
+  the original ad-hoc protocol, kept as the inline-command compat path
+  (disable with ``accept_inline = False``).
 
-Request parsing is a proper byte-stream parser: partial commands at the
-end of a receive are shifted to the front of the request buffer and
-completed by the next ``recv``, so pipelined clients (the closed-loop
-workload, like redis-benchmark) work at any window size.
+Request parsing is a proper byte-stream parser in both framings:
+partial commands at the end of a receive are shifted to the front of
+the request buffer and completed by the next ``recv``, so pipelined
+clients (the closed-loop workload, like redis-benchmark) work at any
+window size and frames may split at any byte boundary.
 
 Structure relevant to the paper's numbers:
 
@@ -20,20 +28,35 @@ Structure relevant to the paper's numbers:
   instrumentation (ASAN's malloc tax) is paid per request — the
   mechanism behind the global-vs-local allocator gap in Figure 4.
 
-Durability: when the image links the ``kv`` micro-library, SET and DEL
-are journaled through the gate into the storage compartment (AOF-style:
-the value travels straight from the shared request buffer), and
-:meth:`RedisServerApp.recover` replays the log into the in-memory store
-after a reboot.  Whether an acknowledged SET survives a power failure
-then depends on the kv flush policy — ``every-write`` is redis
-``appendfsync always``; ``batch:N`` is ``everysec``-style batching.
-INCR/APPEND stay volatile (scope of the durability study is SET/DEL).
+Durability: when the image links the ``kv`` micro-library, every write
+command is journaled through the gate into the storage compartment
+before it is acknowledged (AOF-style).  SET/DEL journal the record
+as-is (the value travels straight from the shared request buffer);
+INCR/APPEND journal their **post-image as a SET record** staged through
+the response buffer, so recovery replays them like any other SET —
+an acknowledged INCR survives crash→recover exactly like an
+acknowledged SET.  :meth:`RedisServerApp.recover` replays the log into
+the in-memory store after a reboot; whether an acknowledged write
+survives a power failure then depends on the kv flush policy
+(``every-write`` is redis ``appendfsync always``; ``batch:N`` is
+``everysec``-style batching).
+
+Cluster hooks (host-side, installed by :mod:`repro.cluster`):
+
+- :meth:`set_cluster_router` arms slot-ownership checks — a keyed
+  command for a slot this shard does not own (or no longer owns: a
+  fenced ex-primary after failover) answers ``-MOVED <slot> <shard>``
+  instead of executing, the redirect a smart client follows;
+- :attr:`replicator` mirrors the journaled write stream to a follower
+  shard over the fabric's vm-rpc-style storage channel, *before* the
+  ack — journal-before-ack extends to replicate-before-ack.
 """
 
 from __future__ import annotations
 
 from typing import Generator
 
+from repro.apps import resp as resp_proto
 from repro.libos.kv.store import MAX_VALUE as KV_MAX_VALUE
 from repro.libos.library import MicroLibrary, export
 from repro.machine.faults import GateError
@@ -57,8 +80,12 @@ class DumpTruncatedError(GateError):
         )
 
 
+#: Commands that take a key (slot routing applies to these).
+_KEYED = frozenset(("set", "get", "del", "exists", "incr", "append"))
+
+
 class RedisServerApp(MicroLibrary):
-    """Minimal pipelining-capable key/value server."""
+    """Minimal pipelining-capable key/value server (RESP2 + inline)."""
 
     NAME = "redis"
     SPEC = """
@@ -98,6 +125,8 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
     BUF_SIZE = 4096
     #: Size of the per-request reply object (redis robj analogue).
     REPLY_OBJ_SIZE = 64
+    #: Accept legacy inline/text commands alongside RESP arrays.
+    accept_inline = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -111,9 +140,18 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
         self.misses = 0
         self.errors = 0
         self.responses = 0
-        #: SET/DEL journaled into the kv compartment (durable mode only).
+        #: Write records journaled into the kv compartment (durable mode).
         self.kv_writes = 0
+        #: ``-MOVED`` redirects answered (cluster mode).
+        self.redirects = 0
         self.running = False
+        #: Host-side cluster router: ``key -> None | (slot, owner)``;
+        #: non-None means redirect (this shard does not own the slot).
+        self._cluster_router = None
+        #: Host-side replication channel (``.put(key, bytes)`` /
+        #: ``.delete(key)``); mirrors the journaled write stream to a
+        #: follower shard before each ack.
+        self.replicator = None
 
     def on_boot(self) -> None:
         self._net = self.stub("netstack")
@@ -125,8 +163,27 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
 
     @property
     def durable(self) -> bool:
-        """True when SET/DEL are journaled into the kv compartment."""
+        """True when writes are journaled into the kv compartment."""
         return self._kv is not None
+
+    # --- cluster hooks (host-side) ----------------------------------------
+
+    def set_cluster_router(self, router) -> None:
+        """Install (or clear) the slot-ownership check.
+
+        ``router(key)`` returns ``None`` when this shard currently owns
+        the key's slot, else ``(slot, owner_name)`` — the command is
+        answered with ``-MOVED slot owner`` and not executed.  Called
+        by the cluster control plane at build, rebalance, and failover
+        time; a demoted ex-primary's router redirects everything, which
+        is the split-brain fence.
+        """
+        self._cluster_router = router
+
+    def _route(self, key: bytes):
+        if self._cluster_router is None:
+            return None
+        return self._cluster_router(key)
 
     # --- server loop ----------------------------------------------------------
 
@@ -141,9 +198,9 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
             self.running = True
             pending = 0
             # Durable deployment over a batched (queue) kv channel:
-            # journal the whole request buffer's SET/DELs in one
-            # doorbell crossing and ack each only on its completion.
-            # The deferred variant is a generator — it parks on the kv
+            # journal the whole request buffer's writes in one doorbell
+            # crossing and ack each only on its completion.  The
+            # deferred variant is a generator — it parks on the kv
             # channel's completion queue instead of forcing the flush.
             deferred = self._kv is not None and self._kv.supports_async
             while True:
@@ -170,64 +227,158 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
 
         return body
 
+    # --- request parsing (both framings → command tuples) -----------------
+
+    def _parse_commands(self, raw: bytes) -> tuple[list[tuple], int]:
+        """Parse every complete command in ``raw``; (commands, consumed).
+
+        Command tuples end with the framing flag (``True`` = RESP —
+        the reply uses RESP framing):
+
+        - ``("set", key, value_offset, length, resp)``
+        - ``("get"|"del"|"exists"|"incr", key, resp)``
+        - ``("append", key, suffix_offset, length, resp)``
+        - ``("ping", resp)`` / ``("err", resp)``
+
+        A malformed RESP frame (bad header, oversized bulk) consumes
+        the rest of the buffer and yields one ``err`` — the typed
+        :class:`~repro.apps.resp.RespError` path; resynchronising
+        inside a corrupt stream would execute attacker-framed bytes.
+        """
+        commands: list[tuple] = []
+        pos = 0
+        limit = len(raw)
+        while pos < limit:
+            if raw[pos] == 0x2A:  # "*": a RESP array
+                try:
+                    parsed = resp_proto.parse_array(
+                        raw, pos, max_bulk=self.BUF_SIZE - 64
+                    )
+                except resp_proto.RespError:
+                    commands.append(("err", True))
+                    pos = limit
+                    break
+                if parsed is None:
+                    break  # incomplete frame: wait for more bytes
+                args, offsets, pos = parsed
+                commands.append(self._command_from_resp(args, offsets))
+            else:
+                if not self.accept_inline:
+                    commands.append(("err", True))
+                    pos = limit
+                    break
+                newline = raw.find(b"\n", pos)
+                if newline < 0:
+                    break  # incomplete line
+                step = self._command_from_line(raw, pos, newline)
+                if step is None:
+                    break  # inline value not fully received yet
+                command, pos = step
+                commands.append(command)
+        return commands, pos
+
+    @staticmethod
+    def _command_from_resp(args: list[bytes], offsets: list[int]) -> tuple:
+        name = args[0].upper()
+        argc = len(args)
+        if name == b"SET" and argc == 3:
+            return ("set", args[1], offsets[2], len(args[2]), True)
+        if name == b"GET" and argc == 2:
+            return ("get", args[1], True)
+        if name == b"DEL" and argc == 2:
+            return ("del", args[1], True)
+        if name == b"EXISTS" and argc == 2:
+            return ("exists", args[1], True)
+        if name == b"INCR" and argc == 2:
+            return ("incr", args[1], True)
+        if name == b"APPEND" and argc == 3:
+            return ("append", args[1], offsets[2], len(args[2]), True)
+        if name == b"PING" and argc == 1:
+            return ("ping", True)
+        return ("err", True)
+
+    def _command_from_line(
+        self, raw: bytes, pos: int, newline: int
+    ) -> tuple[tuple, int] | None:
+        """One legacy text command at ``pos``; ``(command, next_pos)``.
+
+        Returns ``None`` when a SET/APPEND value extends past the
+        received bytes (partial command — retry after the next recv).
+        """
+        line = raw[pos:newline]
+        if line.startswith(b"SET ") or line.startswith(b"APPEND "):
+            op = "set" if line[0] == 0x53 else "append"
+            parsed = self._parse_set(
+                line if op == "set" else b"SET " + line[7:]
+            )
+            if parsed is None:
+                return ("err", False), newline + 1
+            key, length = parsed
+            value_start = newline + 1
+            if value_start + length > len(raw):
+                return None  # value not fully received yet
+            return (op, key, value_start, length, False), value_start + length
+        if line.startswith(b"GET "):
+            return ("get", line[4:].strip(), False), newline + 1
+        if line.startswith(b"DEL "):
+            return ("del", line[4:].strip(), False), newline + 1
+        if line.startswith(b"EXISTS "):
+            return ("exists", line[7:].strip(), False), newline + 1
+        if line.startswith(b"INCR "):
+            return ("incr", line[5:].strip(), False), newline + 1
+        if line.strip() == b"PING":
+            return ("ping", False), newline + 1
+        return ("err", False), newline + 1
+
+    # --- synchronous execution --------------------------------------------
+
     def _process(
         self, raw: bytes, req_buf: int, resp_buf: int, sockfd: int
     ) -> int:
         """Execute every complete command in ``raw``; returns bytes consumed."""
-        consumed = 0
-        while True:
-            newline = raw.find(b"\n", consumed)
-            if newline < 0:
-                break
-            line = raw[consumed:newline]
-            if line.startswith(b"SET "):
-                parsed = self._parse_set(line)
-                if parsed is None:
-                    reply_len = self._reply_error(resp_buf)
-                    consumed = newline + 1
-                else:
-                    key, length = parsed
-                    value_start = newline + 1
-                    if value_start + length > len(raw):
-                        break  # value not fully received yet
-                    self._do_set(key, req_buf + value_start, length)
-                    reply_len = self._reply_ok(resp_buf)
-                    consumed = value_start + length
-            elif line.startswith(b"GET "):
-                reply_len = self._do_get(line[4:].strip(), resp_buf)
-                consumed = newline + 1
-            elif line.startswith(b"DEL "):
-                reply_len = self._do_del(line[4:].strip(), resp_buf)
-                consumed = newline + 1
-            elif line.startswith(b"EXISTS "):
-                reply_len = self._do_exists(line[7:].strip(), resp_buf)
-                consumed = newline + 1
-            elif line.startswith(b"INCR "):
-                reply_len = self._do_incr(line[5:].strip(), resp_buf)
-                consumed = newline + 1
-            elif line.startswith(b"APPEND "):
-                parsed = self._parse_set(b"SET " + line[7:])
-                if parsed is None:
-                    reply_len = self._reply_error(resp_buf)
-                    consumed = newline + 1
-                else:
-                    key, length = parsed
-                    value_start = newline + 1
-                    if value_start + length > len(raw):
-                        break  # suffix not fully received yet
-                    reply_len = self._do_append(
-                        key, req_buf + value_start, length, resp_buf
-                    )
-                    consumed = value_start + length
-            else:
-                reply_len = self._reply_error(resp_buf)
-                consumed = newline + 1
-            # Per-request reply object, as redis allocates per command.
-            reply_obj = self._alloc.call("malloc", self.REPLY_OBJ_SIZE)
-            self._alloc.call("free", reply_obj)
-            self._net.call("send", sockfd, resp_buf, reply_len)
-            self.responses += 1
+        commands, consumed = self._parse_commands(raw)
+        for command in commands:
+            reply_len = self._execute(command, req_buf, resp_buf)
+            self._send_reply(resp_buf, reply_len, sockfd)
         return consumed
+
+    def _execute(self, command: tuple, req_buf: int, resp_buf: int) -> int:
+        kind = command[0]
+        rsp = command[-1]
+        if kind == "err":
+            return self._reply_error(resp_buf, rsp)
+        if kind == "ping":
+            return self._store_reply(resp_buf, b"+PONG", rsp)
+        key = command[1]
+        if kind in _KEYED:
+            redirect = self._route(key)
+            if redirect is not None:
+                return self._reply_moved(resp_buf, redirect, rsp)
+        if kind == "set":
+            _, _, offset, length, _ = command
+            self._do_set(key, req_buf + offset, length)
+            return self._reply_ok(resp_buf, rsp)
+        if kind == "get":
+            return self._do_get(key, resp_buf, rsp)
+        if kind == "del":
+            return self._do_del(key, resp_buf, rsp)
+        if kind == "exists":
+            return self._do_exists(key, resp_buf, rsp)
+        if kind == "incr":
+            return self._do_incr(key, resp_buf, rsp)
+        if kind == "append":
+            _, _, offset, length, _ = command
+            return self._do_append(key, req_buf + offset, length, resp_buf, rsp)
+        return self._reply_error(resp_buf, rsp)
+
+    def _send_reply(self, resp_buf: int, reply_len: int, sockfd: int) -> None:
+        # Per-request reply object, as redis allocates per command.
+        reply_obj = self._alloc.call("malloc", self.REPLY_OBJ_SIZE)
+        self._alloc.call("free", reply_obj)
+        self._net.call("send", sockfd, resp_buf, reply_len)
+        self.responses += 1
+
+    # --- deferred (batched-durability) execution --------------------------
 
     def _process_deferred(
         self, raw: bytes, req_buf: int, resp_buf: int, sockfd: int
@@ -246,71 +397,42 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
         journal-before-ack, amortised over the request buffer.  A
         command whose journal op failed is answered ``-ERR`` and its
         in-memory effect is skipped, so the store never runs ahead of
-        the journal.
+        the journal.  INCR/APPEND post-images are journaled with a
+        synchronous call in phase 3 (their value exists only once
+        earlier staged commands have applied); the sync path flushes
+        any queued records first, so ordering holds.
         """
-        consumed = 0
+        commands, consumed = self._parse_commands(raw)
         submitted = 0
         staged: list[tuple] = []
-        while True:
-            newline = raw.find(b"\n", consumed)
-            if newline < 0:
-                break
-            line = raw[consumed:newline]
-            if line.startswith(b"SET "):
-                parsed = self._parse_set(line)
-                if parsed is None:
-                    staged.append(("err",))
-                    consumed = newline + 1
-                else:
-                    key, length = parsed
-                    value_start = newline + 1
-                    if value_start + length > len(raw):
-                        break  # value not fully received yet
-                    ticket = None
-                    if length <= KV_MAX_VALUE:
-                        ticket = self._kv.submit(
-                            "put", key, req_buf + value_start, length
-                        )
-                        submitted += 1
-                    staged.append(
-                        ("set", ticket, key, req_buf + value_start, length)
+        for command in commands:
+            kind = command[0]
+            if kind in _KEYED:
+                redirect = self._route(command[1])
+                if redirect is not None:
+                    staged.append(("moved", redirect, command[-1]))
+                    continue
+            if kind == "set":
+                _, key, offset, length, rsp = command
+                ticket = None
+                if length <= KV_MAX_VALUE:
+                    ticket = self._kv.submit(
+                        "put", key, req_buf + offset, length
                     )
-                    consumed = value_start + length
-            elif line.startswith(b"GET "):
-                staged.append(("get", line[4:].strip()))
-                consumed = newline + 1
-            elif line.startswith(b"DEL "):
-                key = line[4:].strip()
+                    submitted += 1
+                staged.append(
+                    ("set", ticket, key, req_buf + offset, length, rsp)
+                )
+            elif kind == "del":
                 # Journal unconditionally: whether the key exists can
                 # only be decided once earlier staged SETs have applied,
                 # and a tombstone for a missing key is harmless.
+                key = command[1]
                 ticket = self._kv.submit("delete", key)
                 submitted += 1
-                staged.append(("del", ticket, key))
-                consumed = newline + 1
-            elif line.startswith(b"EXISTS "):
-                staged.append(("exists", line[7:].strip()))
-                consumed = newline + 1
-            elif line.startswith(b"INCR "):
-                staged.append(("incr", line[5:].strip()))
-                consumed = newline + 1
-            elif line.startswith(b"APPEND "):
-                parsed = self._parse_set(b"SET " + line[7:])
-                if parsed is None:
-                    staged.append(("err",))
-                    consumed = newline + 1
-                else:
-                    key, length = parsed
-                    value_start = newline + 1
-                    if value_start + length > len(raw):
-                        break  # suffix not fully received yet
-                    staged.append(
-                        ("append", key, req_buf + value_start, length)
-                    )
-                    consumed = value_start + length
+                staged.append(("del", ticket, key, command[-1]))
             else:
-                staged.append(("err",))
-                consumed = newline + 1
+                staged.append(command)
         # Wake-driven completion delivery: block until every journal
         # op submitted above has completed (one doorbell for the whole
         # pipeline) instead of forcing the flush and polling.
@@ -319,51 +441,37 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
             done = {c.ticket: c for c in completions}
         else:
             done = {}
-        for cmd in staged:
-            kind = cmd[0]
+        for entry in staged:
+            kind = entry[0]
             if kind == "set":
-                _, ticket, key, value_addr, length = cmd
+                _, ticket, key, value_addr, length, rsp = entry
                 completion = done.get(ticket)
                 if ticket is not None and (
                     completion is None or not completion.ok
                 ):
-                    reply_len = self._reply_error(resp_buf)
+                    reply_len = self._reply_error(resp_buf, rsp)
                 else:
                     if ticket is not None:
                         self.kv_writes += 1
+                        self._replicate_put(key, value_addr, length)
                     self._apply_set(key, value_addr, length)
-                    reply_len = self._reply_ok(resp_buf)
+                    reply_len = self._reply_ok(resp_buf, rsp)
             elif kind == "del":
-                _, ticket, key = cmd
+                _, ticket, key, rsp = entry
                 completion = done.get(ticket)
                 if completion is None or not completion.ok:
-                    reply_len = self._reply_error(resp_buf)
+                    reply_len = self._reply_error(resp_buf, rsp)
                 else:
                     self.kv_writes += 1
-                    entry = self._store.pop(key, None)
-                    if entry is not None:
-                        self._alloc.call("free", entry[0])
-                    reply = b":%d\n" % (1 if entry is not None else 0)
-                    self.machine.store(resp_buf, reply)
-                    reply_len = len(reply)
-            elif kind == "get":
-                reply_len = self._do_get(cmd[1], resp_buf)
-            elif kind == "exists":
-                reply_len = self._do_exists(cmd[1], resp_buf)
-            elif kind == "incr":
-                reply_len = self._do_incr(cmd[1], resp_buf)
-            elif kind == "append":
-                _, key, suffix_addr, suffix_len = cmd
-                reply_len = self._do_append(
-                    key, suffix_addr, suffix_len, resp_buf
-                )
+                    self._replicate_delete(key)
+                    removed = self._drop_key(key)
+                    reply_len = self._reply_int(resp_buf, removed, rsp)
+            elif kind == "moved":
+                _, redirect, rsp = entry
+                reply_len = self._reply_moved(resp_buf, redirect, rsp)
             else:
-                reply_len = self._reply_error(resp_buf)
-            # Per-request reply object, as redis allocates per command.
-            reply_obj = self._alloc.call("malloc", self.REPLY_OBJ_SIZE)
-            self._alloc.call("free", reply_obj)
-            self._net.call("send", sockfd, resp_buf, reply_len)
-            self.responses += 1
+                reply_len = self._execute(entry, req_buf, resp_buf)
+            self._send_reply(resp_buf, reply_len, sockfd)
         return consumed
 
     # --- commands ---------------------------------------------------------------
@@ -381,6 +489,36 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
             return None
         return parts[1], length
 
+    def _replicate_put(self, key: bytes, value_addr: int, length: int) -> None:
+        """Mirror one journaled put to the follower (before the ack)."""
+        if self.replicator is not None:
+            data = self.machine.load(value_addr, length) if length else b""
+            self.replicator.put(key, data)
+
+    def _replicate_bytes(self, key: bytes, data: bytes) -> None:
+        if self.replicator is not None:
+            self.replicator.put(key, data)
+
+    def _replicate_delete(self, key: bytes) -> None:
+        if self.replicator is not None:
+            self.replicator.delete(key)
+
+    def _journal_post_image(self, key: bytes, data: bytes, resp_buf: int) -> None:
+        """Journal (and replicate) a write's post-image as a SET record.
+
+        The INCR/APPEND durability path: the computed value is staged
+        through the response buffer (shared memory the storage
+        compartment may read through the gate) and journaled before the
+        command is acknowledged, so recovery replays it like a SET.
+        """
+        if self._kv is None or len(data) > KV_MAX_VALUE:
+            return
+        if data:
+            self.machine.store(resp_buf, data)
+        self._kv.call("put", key, resp_buf, len(data))
+        self.kv_writes += 1
+        self._replicate_bytes(key, data)
+
     def _do_set(self, key: bytes, value_addr: int, length: int) -> None:
         if self._kv is not None and length <= KV_MAX_VALUE:
             # AOF-style journal first: the value is still sitting in the
@@ -390,6 +528,7 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
             # as durable as the kv flush policy promises.
             self._kv.call("put", key, value_addr, length)
             self.kv_writes += 1
+            self._replicate_put(key, value_addr, length)
         self._apply_set(key, value_addr, length)
 
     def _apply_set(self, key: bytes, value_addr: int, length: int) -> None:
@@ -405,37 +544,45 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
         self._store[key] = (stored, length)
         self.sets += 1
 
-    def _do_get(self, key: bytes, resp_buf: int) -> int:
+    def _do_get(self, key: bytes, resp_buf: int, rsp: bool = False) -> int:
         self.gets += 1
         entry = self._store.get(key)
         if entry is None:
             self.misses += 1
-            self.machine.store(resp_buf, b"$-1\n")
-            return 4
+            return self._store_reply(resp_buf, b"$-1", rsp)
         addr, length = entry
-        head = b"$%d\n" % length
+        head = b"$%d\r\n" % length if rsp else b"$%d\n" % length
         self.machine.store(resp_buf, head)
         if length:
             self.machine.copy(resp_buf + len(head), addr, length)
-        return len(head) + length
+        total = len(head) + length
+        if rsp:
+            self.machine.store(resp_buf + total, b"\r\n")
+            total += 2
+        return total
 
-    def _do_del(self, key: bytes, resp_buf: int) -> int:
+    def _drop_key(self, key: bytes) -> int:
+        """Remove a key from the in-memory store; 1 if it existed."""
+        entry = self._store.pop(key, None)
+        if entry is None:
+            return 0
+        self._alloc.call("free", entry[0])
+        return 1
+
+    def _do_del(self, key: bytes, resp_buf: int, rsp: bool = False) -> int:
         entry = self._store.pop(key, None)
         if entry is not None:
             if self._kv is not None:
                 self._kv.call("delete", key)
                 self.kv_writes += 1
+                self._replicate_delete(key)
             self._alloc.call("free", entry[0])
-        reply = b":%d\n" % (1 if entry is not None else 0)
-        self.machine.store(resp_buf, reply)
-        return len(reply)
+        return self._reply_int(resp_buf, 1 if entry is not None else 0, rsp)
 
-    def _do_exists(self, key: bytes, resp_buf: int) -> int:
-        reply = b":%d\n" % (1 if key in self._store else 0)
-        self.machine.store(resp_buf, reply)
-        return len(reply)
+    def _do_exists(self, key: bytes, resp_buf: int, rsp: bool = False) -> int:
+        return self._reply_int(resp_buf, 1 if key in self._store else 0, rsp)
 
-    def _do_incr(self, key: bytes, resp_buf: int) -> int:
+    def _do_incr(self, key: bytes, resp_buf: int, rsp: bool = False) -> int:
         entry = self._store.get(key)
         if entry is None:
             current = 0
@@ -445,20 +592,26 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
             try:
                 current = int(raw)
             except ValueError:
-                return self._reply_error(resp_buf)
+                return self._reply_error(resp_buf, rsp)
         current += 1
         encoded = b"%d" % current
+        # Durability: journal the post-image before applying or acking,
+        # same contract as SET (an acked INCR survives crash→recover).
+        self._journal_post_image(key, encoded, resp_buf)
         stored = self._alloc.call("malloc", len(encoded))
         self.machine.store(stored, encoded)
         if entry is not None:
             self._alloc.call("free", entry[0])
         self._store[key] = (stored, len(encoded))
-        reply = b":%d\n" % current
-        self.machine.store(resp_buf, reply)
-        return len(reply)
+        return self._reply_int(resp_buf, current, rsp)
 
     def _do_append(
-        self, key: bytes, suffix_addr: int, suffix_len: int, resp_buf: int
+        self,
+        key: bytes,
+        suffix_addr: int,
+        suffix_len: int,
+        resp_buf: int,
+        rsp: bool = False,
     ) -> int:
         entry = self._store.get(key)
         old_len = entry[1] if entry is not None else 0
@@ -471,18 +624,45 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
         if suffix_len:
             self.machine.copy(stored + old_len, suffix_addr, suffix_len)
         self._store[key] = (stored, total)
-        reply = b":%d\n" % total
+        # Durability: journal the concatenated post-image as a SET
+        # record (staged via the response buffer) before the ack.
+        if self._kv is not None and total <= KV_MAX_VALUE:
+            if total:
+                self.machine.copy(resp_buf, stored, total)
+            self._kv.call("put", key, resp_buf, total)
+            self.kv_writes += 1
+            if self.replicator is not None:
+                self._replicate_bytes(
+                    key, self.machine.load(stored, total) if total else b""
+                )
+        return self._reply_int(resp_buf, total, rsp)
+
+    # --- reply framing ----------------------------------------------------
+
+    def _store_reply(self, resp_buf: int, body: bytes, rsp: bool) -> int:
+        reply = body + (b"\r\n" if rsp else b"\n")
         self.machine.store(resp_buf, reply)
         return len(reply)
 
-    def _reply_ok(self, resp_buf: int) -> int:
-        self.machine.store(resp_buf, b"+OK\n")
-        return 4
+    def _reply_ok(self, resp_buf: int, rsp: bool = False) -> int:
+        return self._store_reply(resp_buf, b"+OK", rsp)
 
-    def _reply_error(self, resp_buf: int) -> int:
+    def _reply_int(self, resp_buf: int, value: int, rsp: bool = False) -> int:
+        return self._store_reply(resp_buf, b":%d" % value, rsp)
+
+    def _reply_error(self, resp_buf: int, rsp: bool = False) -> int:
         self.errors += 1
-        self.machine.store(resp_buf, b"-ERR\n")
-        return 5
+        return self._store_reply(resp_buf, b"-ERR", rsp)
+
+    def _reply_moved(
+        self, resp_buf: int, redirect: tuple, rsp: bool = False
+    ) -> int:
+        slot, owner = redirect
+        self.redirects += 1
+        owner_bytes = owner.encode() if isinstance(owner, str) else owner
+        return self._store_reply(
+            resp_buf, b"-MOVED %d %s" % (slot, owner_bytes), rsp
+        )
 
     # --- persistence (RDB-style dump over the vfs micro-library) ----------------------
 
@@ -635,6 +815,7 @@ kv::put, kv::get, kv::delete, kv::sync, kv::recover, kv::kv_keys
             "responses": self.responses,
             "durable": self.durable,
             "kv_writes": self.kv_writes,
+            "redirects": self.redirects,
         }
 
     @export

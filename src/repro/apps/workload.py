@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
+from repro.apps import resp
 from repro.libos.net.packet import MSS, build_packet, unpack_header
 from repro.perf.meter import BenchResult, Meter
 
@@ -191,19 +192,39 @@ def start_redis(image: "Image", port: int | None = None):
 
 
 def make_set_payloads(
-    count: int, value_size: int, keyspace: int | None = None
+    count: int,
+    value_size: int,
+    keyspace: int | None = None,
+    protocol: str = "resp",
 ) -> list[bytes]:
-    """SET request payloads cycling over a bounded keyspace."""
+    """SET request payloads cycling over a bounded keyspace.
+
+    ``protocol="resp"`` (default) encodes RESP2 arrays — the framing an
+    external redis client speaks; ``protocol="text"`` keeps the legacy
+    inline ``SET <key> <len>\\n<value>`` compat format.
+    """
     keys = keyspace if keyspace is not None else count
     value = b"v" * value_size
+    if protocol == "resp":
+        return [
+            resp.encode_command(b"SET", b"key%d" % (index % keys), value)
+            for index in range(count)
+        ]
     return [
         b"SET key%d %d\n" % (index % keys, value_size) + value
         for index in range(count)
     ]
 
 
-def make_get_payloads(count: int, keyspace: int) -> list[bytes]:
+def make_get_payloads(
+    count: int, keyspace: int, protocol: str = "resp"
+) -> list[bytes]:
     """GET request payloads cycling over a bounded keyspace."""
+    if protocol == "resp":
+        return [
+            resp.encode_command(b"GET", b"key%d" % (index % keyspace))
+            for index in range(count)
+        ]
     return [b"GET key%d\n" % (index % keyspace) for index in range(count)]
 
 

@@ -1,0 +1,370 @@
+"""Cluster failure campaigns: seeded crashes with cluster-level verdicts.
+
+The single-machine recovery campaign (:mod:`repro.resilience.campaign`)
+asks "did the journal survive the power cut?".  The cluster campaign
+asks the distributed version: **does an acked write survive losing the
+machine that acked it?**  Each cell drives seeded RESP load through
+the smart client (which records the acked ground truth), injects one
+cluster-level failure, lets the cluster fail over / rebalance, and
+audits every acked key through real wire reads plus host-side store
+inspection.
+
+Sites
+    ``primary-kill``
+        Harness powers off one shard's primary mid-load (seeded kill
+        point); the follower is promoted with journal replay.
+    ``repl-crash-primary``
+        The fault injector cuts the primary's power *between* the
+        replication doorbell and its reply — the follower holds a
+        record the client never saw acked.  Failover must neither
+        lose an acked write nor miscount the unacked one.
+    ``repl-drop``
+        The injector drops replication doorbells in flight; the
+        channel's vm-rpc-style retry discipline must absorb them with
+        no acked loss.
+    ``stale-read``
+        The follower is promoted *without* journal replay, the client
+        observes the stale-read window, then replay closes it.
+    ``shard-join``
+        A shard joins mid-life; moved slots migrate over the wire and
+        a deliberately stale client must converge via MOVED chasing.
+
+Verdicts (worst kept per site × backend across schedules)
+    ``not-triggered`` < ``rebalance-converged`` =
+    ``no-acked-write-lost`` < ``stale-read-window`` <
+    ``acked-write-lost``.
+
+Every cell is a pure function of (backend, site, seed): same inputs,
+bit-identical verdicts.
+
+CLI::
+
+    python -m repro.cluster.campaign --backends none,mpk-shared \
+        --sites primary-kill --schedules 1 --seed 9 --sets 24 \
+        --check primary-kill --json -
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import random
+import sys
+
+from repro.cluster.client import ClusterClient, verify_acked
+from repro.cluster.cluster import RedisCluster
+from repro.machine.faults import PowerFailure
+from repro.resilience.injector import arm
+from repro.resilience.plan import InjectionPlan
+
+DEFAULT_BACKENDS = ("none", "mpk-shared")
+DEFAULT_SITES = (
+    "primary-kill",
+    "repl-crash-primary",
+    "repl-drop",
+    "stale-read",
+    "shard-join",
+)
+DEFAULT_SHARDS = ("s0", "s1", "s2")
+
+#: Worst-case ordering for the site × backend matrix.
+SEVERITY = {
+    "not-triggered": 0,
+    "rebalance-converged": 1,
+    "no-acked-write-lost": 1,
+    "stale-read-window": 2,
+    "acked-write-lost": 3,
+}
+
+#: The verdict each site must earn for a CI ``--check`` to pass.
+EXPECTED = {
+    "primary-kill": "no-acked-write-lost",
+    "repl-crash-primary": "no-acked-write-lost",
+    "repl-drop": "no-acked-write-lost",
+    "stale-read": "stale-read-window",
+    "shard-join": "rebalance-converged",
+}
+
+
+def _seeded_load(client: ClusterClient, seed: int, sets: int) -> None:
+    """Issue ``sets`` seeded SETs (keys spread across all shards)."""
+    rng = random.Random(seed)
+    for index in range(sets):
+        key = b"key:%03d" % index
+        value = b"v%03d-%08x" % (index, rng.getrandbits(32))
+        client.set(key, value)
+
+
+def _victim_shard(cluster: RedisCluster, seed: int) -> str:
+    shards = sorted(cluster.shards)
+    return shards[seed % len(shards)]
+
+
+def _audit_verdict(cluster, client, triggered: bool) -> tuple[str, dict]:
+    if not triggered:
+        return "not-triggered", {"checked": 0, "ok": True}
+    audit = verify_acked(cluster, client)
+    return (
+        "no-acked-write-lost" if audit["ok"] else "acked-write-lost"
+    ), audit
+
+
+def run_cluster_cell(
+    backend: str,
+    site: str,
+    seed: int,
+    sets: int = 24,
+    shards=DEFAULT_SHARDS,
+) -> dict:
+    """One (backend × site × seed) cluster failure cell."""
+    cluster = RedisCluster(shards=shards, backend=backend, replicate=True)
+    client = ClusterClient(cluster)
+    _seeded_load(client, seed, sets)
+    victim = _victim_shard(cluster, seed)
+    primary = cluster.shards[victim].primary
+    injector = None
+    extra: dict = {}
+
+    if site == "primary-kill":
+        threshold = max(1, sets // 3 + seed % 5)
+
+        def until_kill_point() -> bool:
+            client.pump()
+            return len(client.acked) >= threshold or client.done
+
+        cluster.fabric.run(until=until_kill_point)
+        cluster.kill_primary(victim)
+        extra["recover_report"] = cluster.promote(victim, recover=True)
+        client.drive()
+        verdict, audit = _audit_verdict(cluster, client, triggered=True)
+
+    elif site == "repl-crash-primary":
+        nth = 1 + seed % max(1, sets // len(shards) // 2)
+        plan = InjectionPlan(seed).crash_repl_primary(nth=nth)
+        injector = arm(primary.image, plan)
+        try:
+            client.drive()
+            triggered = False
+        except PowerFailure:
+            triggered = True
+            died = cluster.fabric.current
+            assert died is not None and died.name == primary.name
+            cluster.kill_primary(victim)
+            extra["recover_report"] = cluster.promote(victim, recover=True)
+            client.drive()
+        verdict, audit = _audit_verdict(cluster, client, triggered)
+
+    elif site == "repl-drop":
+        # count stays within the channel's retry budget: the doorbell
+        # is lost, backed off, and redelivered — never surfaced.
+        plan = InjectionPlan(seed).drop_repl_op(nth=1 + seed % 3, count=2)
+        injector = arm(primary.image, plan)
+        client.drive()
+        triggered = injector.fired > 0
+        verdict, audit = _audit_verdict(cluster, client, triggered)
+        extra["repl_retries"] = cluster.shards[victim].channel.retries
+
+    elif site == "stale-read":
+        client.drive()
+        owned = [
+            key for key in sorted(client.acked)
+            if cluster.map.owner(key) == victim
+        ]
+        cluster.kill_primary(victim)
+        # Promote WITHOUT replay: the stale-read window is open.
+        cluster.promote(victim, recover=False)
+        for key in owned:
+            client.get(key)
+        client.drive()
+        window = client.stale_reads
+        extra["stale_window_reads"] = window
+        extra["recover_report"] = cluster.recover_follower(victim)
+        # Reload the serving store from the replayed journal and
+        # audit: the window must be closed.
+        verdict, audit = _audit_verdict(
+            cluster, client, triggered=bool(owned)
+        )
+        if verdict == "no-acked-write-lost":
+            verdict = "stale-read-window" if window else "not-triggered"
+
+    elif site == "shard-join":
+        client.drive()
+        before_map = {
+            key: cluster.map.owner(key) for key in client.acked
+        }
+        report = cluster.add_shard("s%d" % len(shards))
+        extra["rebalance"] = report
+        # A deliberately stale client: aim moved keys at their OLD
+        # owner and require MOVED chasing to converge.
+        moved_keys = [
+            key for key, old in sorted(before_map.items())
+            if cluster.map.owner(key) != old
+        ]
+        for key in moved_keys:
+            client.get(key)
+            client.pending[-1].forced_shard = before_map[key]
+        client.drive()
+        extra["moved_followed"] = client.moved
+        verdict, audit = _audit_verdict(cluster, client, triggered=True)
+        if verdict == "no-acked-write-lost":
+            converged = not moved_keys or client.moved > 0
+            verdict = "rebalance-converged" if converged else "acked-write-lost"
+
+    else:
+        raise ValueError(f"unknown cluster site {site!r}")
+
+    cell = {
+        "backend": backend,
+        "site": site,
+        "seed": seed,
+        "verdict": verdict,
+        "acked": len(client.acked),
+        "client": client.stats(),
+        "audit": audit,
+        "shards": cluster.shard_report(),
+        "replication_lag": cluster.replication_lag(),
+        "victim": victim,
+        "injected": injector.fired if injector is not None else 0,
+    }
+    if injector is not None:
+        cell["events"] = [
+            dataclasses.asdict(event) for event in injector.events
+        ]
+        injector.detach()
+    cell.update(extra)
+    for shard in cluster.shards.values():
+        shard.primary.image.shutdown()
+        if shard.follower is not None:
+            shard.follower.image.shutdown()
+    return cell
+
+
+@dataclasses.dataclass
+class ClusterCampaignResult:
+    """Everything one cluster campaign produced."""
+
+    seed: int
+    schedules: int
+    cells: list[dict]
+
+    def matrix(self) -> dict[str, dict[str, str]]:
+        """site → backend → worst verdict across schedules."""
+        table: dict[str, dict[str, str]] = {}
+        for cell in self.cells:
+            row = table.setdefault(cell["site"], {})
+            previous = row.get(cell["backend"])
+            if previous is None or SEVERITY[cell["verdict"]] > SEVERITY[previous]:
+                row[cell["backend"]] = cell["verdict"]
+        return table
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "schedules": self.schedules,
+            "matrix": self.matrix(),
+            "cells": self.cells,
+        }
+
+
+def run_cluster_campaign(
+    backends=DEFAULT_BACKENDS,
+    sites=DEFAULT_SITES,
+    schedules: int = 1,
+    seed: int = 0,
+    sets: int = 24,
+    shards=DEFAULT_SHARDS,
+) -> ClusterCampaignResult:
+    """K seeded schedules per (cluster site × backend)."""
+    cells = []
+    for site in sites:
+        for schedule in range(schedules):
+            cell_seed = seed + 7919 * schedule
+            for backend in backends:
+                cells.append(
+                    run_cluster_cell(
+                        backend, site, cell_seed, sets=sets, shards=shards
+                    )
+                )
+    return ClusterCampaignResult(seed=seed, schedules=schedules, cells=cells)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run a seeded cluster failure campaign"
+    )
+    parser.add_argument(
+        "--backends",
+        default=",".join(DEFAULT_BACKENDS),
+        help="comma-separated isolation backends",
+    )
+    parser.add_argument(
+        "--sites",
+        default=",".join(DEFAULT_SITES),
+        help="comma-separated cluster fault sites",
+    )
+    parser.add_argument("--schedules", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sets", type=int, default=24, metavar="N",
+        help="seeded SETs per cell",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="shards in the initial cluster",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", help="write the result JSON ('-' = stdout)"
+    )
+    parser.add_argument(
+        "--check",
+        action="append",
+        default=[],
+        metavar="SITE",
+        help="exit non-zero unless every selected backend earns SITE's "
+        "expected verdict (CI assertion)",
+    )
+    args = parser.parse_args(argv)
+    backends = tuple(b for b in args.backends.split(",") if b)
+    sites = tuple(s for s in args.sites.split(",") if s)
+    shards = tuple("s%d" % i for i in range(args.shards))
+    result = run_cluster_campaign(
+        backends=backends,
+        sites=sites,
+        schedules=args.schedules,
+        seed=args.seed,
+        sets=args.sets,
+        shards=shards,
+    )
+    matrix = result.matrix()
+    for site, row in matrix.items():
+        for backend, verdict in row.items():
+            print(f"{site:20s} x {backend:13s} -> {verdict}")
+    if args.json:
+        payload = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload + "\n")
+    failed = False
+    if not result.cells:
+        print("ERROR: campaign produced no cells", file=sys.stderr)
+        failed = True
+    for site in args.check:
+        expected = EXPECTED.get(site)
+        row = matrix.get(site, {})
+        for backend in backends:
+            verdict = row.get(backend)
+            if verdict != expected:
+                print(
+                    f"ERROR: {backend} at {site}: verdict {verdict!r}, "
+                    f"expected {expected!r}",
+                    file=sys.stderr,
+                )
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""The cluster-aware smart client: routing, MOVED chasing, ground truth.
+
+:class:`ClusterClient` is the closed-loop load source for a
+:class:`~repro.cluster.cluster.RedisCluster`.  It speaks RESP, routes
+each request to the shard owning the key (per its view of the shard
+map), keeps a bounded window of outstanding requests per node, and —
+crucially for the campaigns — maintains **ground truth**: the exact
+set of key→value pairs the cluster has *acked*.  Verdicts like
+``no-acked-write-lost`` are judged against this set.
+
+Redirect handling mirrors a real redis cluster client: a ``-MOVED
+<slot> <owner>`` reply re-enqueues the request toward the named owner
+and counts the redirect.  Failover handling mirrors an at-least-once
+retry policy: when a node dies, its outstanding requests are aborted
+back onto the pending queue (``SET`` is idempotent per key, so replays
+are safe; an acked value is never rolled back).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from repro.apps import resp
+from repro.cluster.shardmap import slot_of
+
+#: Per-node window of outstanding (unanswered) requests.
+DEFAULT_WINDOW = 4
+
+
+@dataclasses.dataclass
+class Request:
+    """One in-flight client command."""
+
+    op: str  # "set" | "get" | "del"
+    key: bytes
+    value: bytes | None
+    payload: bytes
+    attempts: int = 0
+    #: Owner override from a MOVED redirect (chased before the map).
+    forced_shard: str | None = None
+
+
+class ClusterClient:
+    """Closed-loop RESP client driving a :class:`RedisCluster`."""
+
+    def __init__(self, cluster, window: int = DEFAULT_WINDOW) -> None:
+        self.cluster = cluster
+        self.window = window
+        self.pending: collections.deque[Request] = collections.deque()
+        #: FIFO of outstanding requests per node name (RESP replies come
+        #: back in request order on a connection).
+        self.outstanding: dict[str, collections.deque[Request]] = {}
+        #: Incremental RESP reply parser per node connection.
+        self._parsers: dict[str, resp.ReplyParser] = {}
+        #: Ground truth: key → value for every *acked* SET (deletes
+        #: remove the key).  Campaign verdicts compare against this.
+        self.acked: dict[bytes, bytes] = {}
+        self.issued = 0
+        self.completed = 0
+        self.moved = 0
+        self.retried = 0
+        self.errors = 0
+        #: GETs whose reply disagreed with the acked ground truth.
+        self.stale_reads = 0
+        #: Stale replies by key (campaign reporting).
+        self.stale_keys: list[bytes] = []
+        cluster.attach_client(self)
+
+    # --- enqueue ----------------------------------------------------------
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self.issued += 1
+        self.pending.append(
+            Request("set", key, value, resp.encode_command(b"SET", key, value))
+        )
+
+    def get(self, key: bytes) -> None:
+        self.issued += 1
+        self.pending.append(
+            Request("get", key, None, resp.encode_command(b"GET", key))
+        )
+
+    def delete(self, key: bytes) -> None:
+        self.issued += 1
+        self.pending.append(
+            Request("del", key, None, resp.encode_command(b"DEL", key))
+        )
+
+    # --- pumping ----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.completed >= self.issued
+
+    def _node_for(self, request: Request):
+        shard = request.forced_shard or self.cluster.map.owner(request.key)
+        if shard not in self.cluster.shards:
+            return None
+        node = self.cluster.serving_node(shard)
+        return node if node.alive else None
+
+    def pump(self) -> int:
+        """Dispatch pending requests into open windows; returns count."""
+        dispatched = 0
+        blocked: list[Request] = []
+        while self.pending:
+            request = self.pending.popleft()
+            node = self._node_for(request)
+            if node is None:
+                # Owner dead or missing (mid-failover): park it.
+                blocked.append(request)
+                continue
+            queue = self.outstanding.setdefault(node.name, collections.deque())
+            if len(queue) >= self.window:
+                blocked.append(request)
+                continue
+            request.attempts += 1
+            queue.append(request)
+            node.deliver(request.payload)
+            dispatched += 1
+        self.pending.extend(blocked)
+        return dispatched
+
+    def drive(self, max_rounds: int = 200_000) -> None:
+        """Pump until every issued request completed."""
+
+        def advanced() -> bool:
+            self.pump()
+            return self.done
+
+        self.cluster.fabric.run(until=advanced, max_rounds=max_rounds)
+
+    def rebind(self) -> None:
+        """Topology changed (failover/rebalance): re-register sinks."""
+        for shard in self.cluster.shards.values():
+            if shard.serving.alive:
+                shard.serving.client_sink = self.on_reply
+
+    # --- reply path -------------------------------------------------------
+
+    def on_reply(self, node_name: str, payload: bytes) -> None:
+        parser = self._parsers.setdefault(node_name, resp.ReplyParser())
+        for reply in parser.feed(payload):
+            queue = self.outstanding.get(node_name)
+            if not queue:
+                # Reply for a request we already aborted elsewhere
+                # (duplicate ack after a retry) — drop it.
+                continue
+            request = queue.popleft()
+            self._complete(request, reply)
+
+    def _complete(self, request: Request, reply) -> None:
+        if isinstance(reply, resp.ErrorReply):
+            text = reply.message
+            if text.startswith(b"MOVED "):
+                # -MOVED <slot> <owner>: chase the redirect.
+                parts = text.split()
+                self.moved += 1
+                request.forced_shard = (
+                    parts[2].decode() if len(parts) >= 3 else None
+                )
+                self.pending.appendleft(request)
+                return
+            self.errors += 1
+            self.completed += 1
+            return
+        if request.op == "set":
+            if reply == b"OK":
+                self.acked[request.key] = request.value
+            else:
+                self.errors += 1
+        elif request.op == "del":
+            self.acked.pop(request.key, None)
+        elif request.op == "get":
+            expected = self.acked.get(request.key)
+            if expected is not None and reply != expected:
+                self.stale_reads += 1
+                self.stale_keys.append(request.key)
+        self.completed += 1
+
+    # --- failure handling -------------------------------------------------
+
+    def abort_node(self, node_name: str) -> int:
+        """A node died: retry its outstanding requests elsewhere.
+
+        At-least-once semantics — a request the dead node processed but
+        never answered is replayed against the new owner.  ``SET`` and
+        ``DEL`` are idempotent per key so replays converge; an already
+        recorded ack is never rolled back.
+        """
+        queue = self.outstanding.pop(node_name, None)
+        self._parsers.pop(node_name, None)
+        if not queue:
+            return 0
+        for request in queue:
+            request.forced_shard = None  # re-route via the new map
+            self.retried += 1
+            self.pending.appendleft(request)
+        return len(queue)
+
+    # --- reporting --------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "issued": self.issued,
+            "completed": self.completed,
+            "acked": len(self.acked),
+            "moved": self.moved,
+            "retried": self.retried,
+            "errors": self.errors,
+            "stale_reads": self.stale_reads,
+        }
+
+
+def verify_acked(cluster, client: ClusterClient) -> dict:
+    """Read back every acked key through the cluster; returns the audit.
+
+    Drives real GET traffic (following MOVED redirects) and compares
+    each reply against the client's acked ground truth.  Any mismatch
+    or miss is an acked-write violation.
+    """
+    probe = ClusterClient(cluster, window=client.window)
+    probe.acked = dict(client.acked)
+    lost: list[str] = []
+    wrong: list[str] = []
+    for key in sorted(client.acked):
+        probe.get(key)
+    probe.drive()
+    # probe.stale_reads counts mismatches; distinguish miss vs corrupt
+    # by re-reading values host-side from the owning shard.
+    for key in sorted(client.acked):
+        owner = cluster.map.owner(key)
+        node = cluster.serving_node(owner)
+        value = node.image.lib("redis").value_of(key)
+        if value is None:
+            lost.append(key.decode(errors="replace"))
+        elif value != client.acked[key]:
+            wrong.append(key.decode(errors="replace"))
+    return {
+        "checked": len(client.acked),
+        "lost": lost,
+        "wrong": wrong,
+        "wire_mismatches": probe.stale_reads,
+        "moved_followed": probe.moved,
+        "ok": not lost and not wrong and probe.stale_reads == 0,
+    }

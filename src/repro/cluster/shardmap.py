@@ -1,0 +1,128 @@
+"""Consistent-hash shard map: slots, ring placement, rebalance diffs.
+
+Keys hash onto a fixed slot space (``NSLOTS``, like redis cluster's
+16384 hash slots, scaled down for the simulation); slots map to shards
+through a consistent-hash ring with virtual nodes, so a shard joining
+or leaving moves only ~1/N of the slots instead of reshuffling
+everything.  The map is versioned (:attr:`ShardMap.epoch`): every
+mutation bumps the epoch, which is what routers and smart clients use
+to notice they hold a stale view.
+
+Everything here is pure and deterministic (crc32-based placement, no
+randomness), so cluster campaigns replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+
+#: Number of hash slots keys map onto (redis cluster: 16384).
+NSLOTS = 64
+
+#: Virtual nodes per shard on the ring: smooths slot distribution so a
+#: three-shard cluster does not end up with one shard owning half the
+#: slots.
+VNODES = 32
+
+
+def slot_of(key: bytes) -> int:
+    """The hash slot a key belongs to (stable across processes)."""
+    if isinstance(key, str):
+        key = key.encode()
+    return zlib.crc32(key) % NSLOTS
+
+
+def _ring_point(label: str) -> int:
+    return zlib.crc32(label.encode())
+
+
+class ShardMap:
+    """Slot → shard ownership via a consistent-hash ring."""
+
+    def __init__(self, shards: tuple[str, ...] | list[str] = ()) -> None:
+        self._shards: list[str] = []
+        #: Sorted ring of (point, shard) virtual nodes.
+        self._ring: list[tuple[int, str]] = []
+        #: Cached slot → shard table, rebuilt on every ring change.
+        self._slots: dict[int, str] = {}
+        self.epoch = 0
+        for shard in shards:
+            self.add(shard)
+
+    # --- membership -------------------------------------------------------
+
+    @property
+    def shards(self) -> list[str]:
+        return list(self._shards)
+
+    def add(self, shard: str) -> dict[int, tuple[str | None, str]]:
+        """Add a shard; returns ``{slot: (old_owner, new_owner)}`` moved."""
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already in the map")
+        before = dict(self._slots)
+        self._shards.append(shard)
+        for index in range(VNODES):
+            point = _ring_point(f"{shard}#{index}")
+            bisect.insort(self._ring, (point, shard))
+        self._rebuild()
+        return self._moved(before)
+
+    def remove(self, shard: str) -> dict[int, tuple[str | None, str]]:
+        """Remove a shard; returns the moved-slot diff."""
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard!r} not in the map")
+        before = dict(self._slots)
+        self._shards.remove(shard)
+        self._ring = [entry for entry in self._ring if entry[1] != shard]
+        self._rebuild()
+        return self._moved(before)
+
+    def _rebuild(self) -> None:
+        self._slots = {
+            slot: self._owner_on_ring(slot) for slot in range(NSLOTS)
+        }
+        self.epoch += 1
+
+    def _owner_on_ring(self, slot: int) -> str:
+        if not self._ring:
+            raise ValueError("shard map is empty")
+        point = _ring_point(f"slot:{slot}")
+        index = bisect.bisect_right(self._ring, (point, "\xff"))
+        if index == len(self._ring):
+            index = 0  # wrap: clockwise successor
+        return self._ring[index][1]
+
+    def _moved(self, before: dict[int, str]) -> dict[int, tuple[str | None, str]]:
+        moved = {}
+        for slot, owner in self._slots.items():
+            old = before.get(slot)
+            if old != owner:
+                moved[slot] = (old, owner)
+        return moved
+
+    # --- lookup ------------------------------------------------------------
+
+    def owner_of_slot(self, slot: int) -> str:
+        return self._slots[slot]
+
+    def owner(self, key: bytes) -> str:
+        """The shard currently owning ``key``'s slot."""
+        return self._slots[slot_of(key)]
+
+    def slots_of(self, shard: str) -> list[int]:
+        return [
+            slot for slot, owner in sorted(self._slots.items())
+            if owner == shard
+        ]
+
+    def assignments(self) -> dict[int, str]:
+        """Copy of the full slot table (report/debug)."""
+        return dict(self._slots)
+
+    def counts(self) -> dict[str, int]:
+        """Slots per shard — the balance report."""
+        counts = {shard: 0 for shard in self._shards}
+        for owner in self._slots.values():
+            counts[owner] += 1
+        return counts

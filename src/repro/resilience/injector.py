@@ -250,6 +250,49 @@ class FaultInjector:
             self._record(site, detail, "raised")
             raise PowerFailure(site, detail)
 
+    # --- hook: cluster replication ---------------------------------------
+
+    def on_repl_op(self, primary: str, follower: str) -> str:
+        """Delivery verdict for one replication doorbell on the fabric.
+
+        ``repl-drop`` specs lose the doorbell in flight (the channel
+        retries with vm-rpc-style timeout backoff); the optional
+        ``caller`` filter names the primary shard.
+        """
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != "repl-drop":
+                continue
+            if spec.caller is not None and spec.caller != primary:
+                continue
+            if not self._due(index, spec):
+                continue
+            self._record(
+                "repl-drop", f"{primary} -> {follower}", "dropped"
+            )
+            return "dropped"
+        return "delivered"
+
+    def on_repl_commit(self, primary: str, follower: str) -> None:
+        """Crash point between a replication doorbell and its reply.
+
+        Called on the primary after the follower has durably applied
+        the record but before the primary acks the client.  A due
+        ``repl-crash-primary`` spec drops the primary's power: the
+        write exists on the follower, was never acked, and failover
+        must not resurrect it as an acked loss (nor lose it if a
+        retried client did see an ack).
+        """
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != "repl-crash-primary":
+                continue
+            if spec.caller is not None and spec.caller != primary:
+                continue
+            if not self._due(index, spec):
+                continue
+            detail = f"{primary} died before acking ({follower} applied)"
+            self._record("repl-crash-primary", detail, "raised")
+            raise PowerFailure("repl-crash-primary", detail)
+
     # --- hook: VM notifications ------------------------------------------
 
     def on_vm_notify(self, domain: "VMDomain") -> str:

@@ -25,6 +25,13 @@ site                    meaning
                         manifest commits
 ``crash-mid-recovery``  power fails during the Nth KV recovery scan —
                         crash-during-recovery must itself be recoverable
+``repl-drop``           the Nth primary→follower replication doorbell is
+                        lost on the fabric (the channel retries with
+                        timeout backoff, like vm-rpc)
+``repl-crash-primary``  power cut on the *primary* between the Nth
+                        replication doorbell and its reply — the follower
+                        applied the record but the primary never acked
+                        the client (the failover campaign's crash point)
 ======================  ======================================================
 
 Plans are built fluently::
@@ -54,6 +61,8 @@ SITES = (
     "blk-torn-write",
     "crash-mid-compaction",
     "crash-mid-recovery",
+    "repl-drop",
+    "repl-crash-primary",
 )
 
 #: Maximum jitter schedules() adds to a spec's ``nth``.
@@ -207,6 +216,29 @@ class InjectionPlan:
     ) -> "InjectionPlan":
         """Arm a power loss during the Nth KV recovery scan."""
         return self.add(FaultSpec("crash-mid-recovery", nth=nth, jitter=jitter))
+
+    def drop_repl_op(
+        self, nth: int = 1, count: int = 1, caller: str | None = None
+    ) -> "InjectionPlan":
+        """Arm loss of replication doorbell(s); ``caller`` filters by
+        the primary shard's name."""
+        return self.add(
+            FaultSpec("repl-drop", nth=nth, count=count, caller=caller)
+        )
+
+    def crash_repl_primary(
+        self,
+        nth: int = 1,
+        caller: str | None = None,
+        jitter: int | None = None,
+    ) -> "InjectionPlan":
+        """Arm a primary power cut between a replication doorbell and
+        its reply (follower applied, client never acked)."""
+        return self.add(
+            FaultSpec(
+                "repl-crash-primary", nth=nth, caller=caller, jitter=jitter
+            )
+        )
 
     # --- seeded schedules -------------------------------------------------
 

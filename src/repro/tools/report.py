@@ -22,7 +22,10 @@ across all isolation backends and prints the site × backend
 containment matrix (see :mod:`repro.resilience`); ``--recovery`` does
 the same for the storage power-failure sites and prints the recovery
 verdict matrix (does a durable redis deployment lose acknowledged
-writes after crash + reboot?).  ``--queue`` summarizes queue-channel
+writes after crash + reboot?).  ``--cluster`` runs a small sharded,
+replicated redis cluster plus its failure campaign and reports slot
+balance, replication lag, and the cluster verdict matrix (see
+:mod:`repro.cluster`).  ``--queue`` summarizes queue-channel
 activity — submissions, doorbells per op, batch-size and ring-depth
 distributions — for configs with ``queue_edges``.
 """
@@ -36,6 +39,59 @@ import pathlib
 from repro.core.builder import build_image
 from repro.core.config import BuildConfig
 from repro.obs import exploration_metrics, write_chrome_trace
+
+
+def machine_telemetry(images) -> dict:
+    """Aggregate host-side fast-path telemetry across N machines.
+
+    A cluster run has one :class:`~repro.machine.machine.Machine` per
+    shard (plus followers); summing a single ``fastpath_stats()`` would
+    silently drop every machine but one.  Counters are summed,
+    ``enabled`` flags are AND-ed (one disabled machine disables the
+    claim), and the machine count is reported so readers can tell a
+    cluster report from a single-machine one.
+    """
+    total = {
+        "machines": 0,
+        "enabled": True,
+        "tlb_hits": 0,
+        "tlb_misses": 0,
+        "tlb_invalidations": 0,
+        "gateplan": {
+            "enabled": True,
+            "plans": 0,
+            "plan_hits": 0,
+            "plan_refreshes": 0,
+        },
+        "wheel_cascades": 0,
+    }
+    delivery = {"wakes": 0.0, "polls": 0.0, "wait_parks": 0.0}
+    for image in images:
+        stats = image.machine.fastpath_stats()
+        total["machines"] += 1
+        total["enabled"] = total["enabled"] and stats["enabled"]
+        for key in ("tlb_hits", "tlb_misses", "tlb_invalidations"):
+            total[key] += stats[key]
+        gateplan = stats.get("gateplan") or {}
+        total["gateplan"]["enabled"] = (
+            total["gateplan"]["enabled"] and gateplan.get("enabled", True)
+        )
+        for key in ("plans", "plan_hits", "plan_refreshes"):
+            total["gateplan"][key] += gateplan.get(key, 0)
+        total["wheel_cascades"] += getattr(
+            image.scheduler, "timer_cascades", 0
+        )
+        counters = image.machine.cpu.metrics.counters
+        delivery["wakes"] += counters.get("queue.wakes", 0.0)
+        delivery["polls"] += counters.get("queue.polls", 0.0)
+        delivery["wait_parks"] += counters.get("queue.wait_parks", 0.0)
+    lookups = total["tlb_hits"] + total["tlb_misses"]
+    total["tlb_hit_rate"] = total["tlb_hits"] / lookups if lookups else 0.0
+    delivery["wake_poll_ratio"] = (
+        delivery["wakes"] / delivery["polls"] if delivery["polls"] else 0.0
+    )
+    total["completion_delivery"] = delivery
+    return total
 
 
 def run_workload(image, workload: str) -> tuple[str, dict]:
@@ -79,19 +135,7 @@ def collect(
         summary, numbers = run_workload(image, workload)
     if trace_path:
         write_chrome_trace(image.machine.obs.tracer, trace_path)
-    fastpath = image.machine.fastpath_stats()
-    lookups = fastpath["tlb_hits"] + fastpath["tlb_misses"]
-    fastpath["tlb_hit_rate"] = fastpath["tlb_hits"] / lookups if lookups else 0.0
-    fastpath["wheel_cascades"] = getattr(image.scheduler, "timer_cascades", 0)
-    counters = image.machine.cpu.metrics.counters
-    wakes = counters.get("queue.wakes", 0.0)
-    polls = counters.get("queue.polls", 0.0)
-    fastpath["completion_delivery"] = {
-        "wakes": wakes,
-        "polls": polls,
-        "wait_parks": counters.get("queue.wait_parks", 0.0),
-        "wake_poll_ratio": wakes / polls if polls else 0.0,
-    }
+    fastpath = machine_telemetry([image])
     return {
         "layout": image.layout(),
         "workload": {"summary": summary, **numbers},
@@ -160,6 +204,39 @@ def collect_recovery(seed: int = 0, schedules: int = 1) -> dict:
     }
 
 
+def collect_cluster(seed: int = 0, sets: int = 18) -> dict:
+    """Run a small replicated cluster + failure campaign; summary.
+
+    Two parts: a live three-shard snapshot (slot balance, replication
+    lag, per-machine fast-path telemetry aggregated with
+    :func:`machine_telemetry`) and the cluster campaign's
+    site × backend verdict matrix.
+    """
+    from repro.cluster.campaign import run_cluster_campaign
+    from repro.cluster.client import ClusterClient
+    from repro.cluster.cluster import RedisCluster
+
+    cluster = RedisCluster(shards=("s0", "s1", "s2"), replicate=True)
+    client = ClusterClient(cluster)
+    for index in range(sets):
+        client.set(b"key:%03d" % index, b"v%03d" % index * 4)
+    client.drive()
+    snapshot = {
+        "slots": cluster.map.counts(),
+        "epoch": cluster.map.epoch,
+        "shards": cluster.shard_report(),
+        "client": client.stats(),
+        "replication_lag": cluster.replication_lag(),
+        "machine": machine_telemetry(cluster.images()),
+    }
+    campaign = run_cluster_campaign(seed=seed, sets=sets)
+    return {
+        "seed": seed,
+        "snapshot": snapshot,
+        "matrix": campaign.matrix(),
+    }
+
+
 def render_text(
     data: dict, show_machine: bool = False, show_queue: bool = False
 ) -> str:
@@ -217,6 +294,39 @@ def render_text(
             cells = "".join(f"{row.get(b, '-'):>16s}" for b in backends)
             lines.append(f"  {site:22s}{cells}")
 
+    cluster = data.get("cluster")
+    if cluster:
+        snapshot = cluster["snapshot"]
+        lines += ["", "== Cluster (sharded, replicated redis) =="]
+        slots = "  ".join(
+            f"{shard}={count}"
+            for shard, count in sorted(snapshot["slots"].items())
+        )
+        lines.append(f"  slot balance: {slots} (epoch {snapshot['epoch']})")
+        for row in snapshot["shards"]:
+            repl = row.get("replication") or {}
+            lines.append(
+                f"  {row['shard']}: serving {row['serving']}, "
+                f"{row['keys']} keys, {row['responses']} responses, "
+                f"repl applied {repl.get('applied', 0)} "
+                f"(retries {repl.get('retries', 0)})"
+            )
+        lag = snapshot["replication_lag"]
+        if lag["samples"]:
+            lines.append(
+                f"  replication lag: mean {lag['mean_ns'] / 1e3:.1f} us, "
+                f"max {lag['max_ns'] / 1e3:.1f} us "
+                f"({lag['samples']} samples)"
+            )
+        lines += ["", "== Cluster verdicts (site x backend) =="]
+        backends = sorted(
+            {backend for row in cluster["matrix"].values() for backend in row}
+        )
+        lines.append("  " + " " * 20 + "".join(f"{b:>20s}" for b in backends))
+        for site, row in sorted(cluster["matrix"].items()):
+            cells = "".join(f"{row.get(b, '-'):>20s}" for b in backends)
+            lines.append(f"  {site:20s}{cells}")
+
     if show_queue:
         metrics = data.get("metrics", {})
         counters = metrics.get("counters", {})
@@ -262,6 +372,10 @@ def render_text(
     machine = data.get("machine")
     if machine and show_machine:
         lines += ["", "== Simulation fast path (host-side) =="]
+        if machine.get("machines", 1) > 1:
+            lines.append(
+                f"  aggregated across {machine['machines']} machines"
+            )
         lines.append(
             f"  software TLB: {machine['tlb_hits']} hits, "
             f"{machine['tlb_misses']} misses "
@@ -384,6 +498,13 @@ def main(argv: list[str] | None = None) -> int:
         "the blk/kv sites) and report the recovery verdict matrix",
     )
     parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="also run a small sharded/replicated cluster plus its "
+        "failure campaign and report slot balance, replication lag, "
+        "and the site x backend verdict matrix",
+    )
+    parser.add_argument(
         "--queue",
         action="store_true",
         help="also summarize queue-channel activity (submissions, "
@@ -411,6 +532,8 @@ def main(argv: list[str] | None = None) -> int:
         data["recovery"] = collect_recovery(
             seed=args.resilience_seed, schedules=args.resilience_schedules
         )
+    if args.cluster:
+        data["cluster"] = collect_cluster(seed=args.resilience_seed)
     if args.json:
         print(json.dumps(data, indent=2, sort_keys=True))
     else:

@@ -138,9 +138,16 @@ def test_run_redis_phase_helper(image):
 def test_payload_generators():
     sets = make_set_payloads(10, 16, keyspace=4)
     assert len(sets) == 10
-    assert sets[0].startswith(b"SET key0 16\n")
-    assert sets[4].startswith(b"SET key0 ")  # keyspace cycles
+    assert sets[0].startswith(b"*3\r\n$3\r\nSET\r\n$4\r\nkey0\r\n$16\r\n")
+    assert b"$4\r\nkey0\r\n" in sets[4]  # keyspace cycles
     gets = make_get_payloads(6, 3)
+    assert gets[3] == b"*2\r\n$3\r\nGET\r\n$4\r\nkey0\r\n"
+
+
+def test_payload_generators_text_compat():
+    sets = make_set_payloads(10, 16, keyspace=4, protocol="text")
+    assert sets[0].startswith(b"SET key0 16\n")
+    gets = make_get_payloads(6, 3, protocol="text")
     assert gets[3] == b"GET key0\n"
 
 

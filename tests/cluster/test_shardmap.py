@@ -1,0 +1,86 @@
+"""Shard map: determinism, balance, and minimal movement on change."""
+
+from repro.cluster.shardmap import NSLOTS, ShardMap, slot_of
+
+
+def test_slot_of_is_deterministic_and_bounded():
+    assert slot_of(b"key:001") == slot_of(b"key:001")
+    assert slot_of("key:001") == slot_of(b"key:001")  # str auto-encodes
+    for index in range(200):
+        assert 0 <= slot_of(b"key:%d" % index) < NSLOTS
+
+
+def test_map_is_deterministic_across_instances():
+    left = ShardMap(("s0", "s1", "s2"))
+    right = ShardMap(("s0", "s1", "s2"))
+    assert left.assignments() == right.assignments()
+
+
+def test_every_slot_has_an_owner_and_balance_is_reasonable():
+    shard_map = ShardMap(("s0", "s1", "s2"))
+    assignments = shard_map.assignments()
+    assert sorted(assignments) == list(range(NSLOTS))
+    counts = shard_map.counts()
+    assert set(counts) == {"s0", "s1", "s2"}
+    # Virtual nodes smooth the ring: every shard owns a real share
+    # and none owns the majority.
+    for shard, count in counts.items():
+        assert NSLOTS // 10 <= count <= NSLOTS // 2, (shard, counts)
+
+
+def test_add_moves_only_slots_toward_the_new_shard():
+    shard_map = ShardMap(("s0", "s1", "s2"))
+    before = shard_map.assignments()
+    moved = shard_map.add("s3")
+    assert moved  # the new shard took something
+    for slot, (old, new) in moved.items():
+        assert new == "s3"
+        assert old == before[slot]
+    # Consistent hashing: far fewer than all slots moved.
+    assert len(moved) < NSLOTS // 2
+    # Unmoved slots kept their owner.
+    for slot, owner in shard_map.assignments().items():
+        if slot not in moved:
+            assert owner == before[slot]
+
+
+def test_remove_reassigns_only_the_leaving_shards_slots():
+    shard_map = ShardMap(("s0", "s1", "s2"))
+    owned = set(shard_map.slots_of("s1"))
+    moved = shard_map.remove("s1")
+    assert set(moved) == owned
+    for slot, (old, new) in moved.items():
+        assert old == "s1"
+        assert new in ("s0", "s2")
+
+
+def test_epoch_bumps_on_every_mutation():
+    shard_map = ShardMap(("s0",))
+    epoch = shard_map.epoch
+    shard_map.add("s1")
+    assert shard_map.epoch == epoch + 1
+    shard_map.remove("s1")
+    assert shard_map.epoch == epoch + 2
+
+
+def test_owner_matches_slot_table():
+    shard_map = ShardMap(("s0", "s1", "s2"))
+    for index in range(50):
+        key = b"key:%03d" % index
+        assert shard_map.owner(key) == shard_map.owner_of_slot(slot_of(key))
+
+
+def test_duplicate_membership_rejected():
+    shard_map = ShardMap(("s0",))
+    try:
+        shard_map.add("s0")
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("duplicate add should raise")
+    try:
+        shard_map.remove("s9")
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("unknown remove should raise")

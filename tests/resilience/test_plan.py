@@ -16,6 +16,8 @@ def test_known_sites():
         "blk-torn-write",
         "crash-mid-compaction",
         "crash-mid-recovery",
+        "repl-drop",
+        "repl-crash-primary",
     }
 
 
